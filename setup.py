@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on machines that
+cannot build wheels (e.g. offline environments without the wheel module).
+"""
+
+from setuptools import setup
+
+setup()

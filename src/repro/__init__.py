@@ -1,0 +1,57 @@
+"""repro — Measuring Approximate Functional Dependencies: a Comparative Study.
+
+A complete reproduction library for the ICDE 2024 paper by Parciak et al.
+It provides:
+
+* a bag-based relation substrate (:mod:`repro.relation`);
+* Shannon- and logical-entropy primitives (:mod:`repro.info`);
+* all fourteen AFD measures in the paper's three classes (:mod:`repro.core`);
+* the synthetic sensitivity benchmarks ERR / UNIQ / SKEW
+  (:mod:`repro.synthetic`);
+* error channels and the RWDe benchmark construction (:mod:`repro.errors`);
+* synthetic stand-ins for the RWD real-world benchmark (:mod:`repro.rwd`);
+* measure-based AFD discovery (:mod:`repro.discovery`);
+* the evaluation harness: PR-AUC, rank-at-max-recall, separation, runtimes
+  (:mod:`repro.evaluation`);
+* one experiment driver per paper table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import FunctionalDependency, Relation, get_measure
+
+    relation = Relation(["zip", "city"], [("1000", "Brussels"),
+                                          ("1000", "Brussels"),
+                                          ("1000", "Bruxelles"),
+                                          ("3590", "Diepenbeek")])
+    fd = FunctionalDependency("zip", "city")
+    print(get_measure("mu_plus").score(relation, fd))
+"""
+
+from repro.core import (
+    AfdMeasure,
+    FdStatistics,
+    MeasureClass,
+    all_measures,
+    default_measures,
+    get_measure,
+    measure_names,
+    measures_by_class,
+)
+from repro.relation import FunctionalDependency, Relation, StrippedPartition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AfdMeasure",
+    "FdStatistics",
+    "FunctionalDependency",
+    "MeasureClass",
+    "Relation",
+    "StrippedPartition",
+    "all_measures",
+    "default_measures",
+    "get_measure",
+    "measure_names",
+    "measures_by_class",
+    "__version__",
+]

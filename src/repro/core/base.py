@@ -1,0 +1,93 @@
+"""Base interface for AFD measures.
+
+An AFD measure maps pairs ``(φ, R)`` of an FD and a relation to a value in
+``[0, 1]``; higher values indicate fewer violations and ``f(φ, R) = 1``
+whenever ``R |= φ`` (Section IV, "Conventions").  The satisfied case and
+the empty-relation case are handled centrally here, so each concrete
+measure only implements the violated case, where the paper guarantees
+``|dom_R(X)| != |R|``, ``|dom_R(Y)| > 1`` and therefore strictly positive
+entropies ``H_R(Y)`` and ``h_R(Y)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Optional
+
+from repro.core.statistics import FdStatistics
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+
+
+class MeasureClass(enum.Enum):
+    """The three measure classes of Section IV-E."""
+
+    VIOLATION = "violation"
+    SHANNON = "shannon"
+    LOGICAL = "logical"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def clamp_unit_interval(value: float) -> float:
+    """Clamp a score to ``[0, 1]``, guarding against floating-point drift."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+class AfdMeasure(abc.ABC):
+    """Abstract base class of every AFD measure.
+
+    Subclasses define :attr:`name`, :attr:`measure_class`,
+    :attr:`has_baselines` and implement :meth:`_score_violated`.
+    """
+
+    #: Short identifier used in reports (matches the paper's notation).
+    name: str = ""
+    #: Human-readable description used in documentation output.
+    description: str = ""
+    #: Measure class (VIOLATION / SHANNON / LOGICAL).
+    measure_class: MeasureClass
+    #: Whether the measure has baselines (relations scoring exactly 0).
+    has_baselines: bool = True
+    #: Whether the measure is efficiently computable (Table III).
+    efficiently_computable: bool = True
+
+    def score(
+        self,
+        relation: Relation,
+        fd: FunctionalDependency,
+        statistics: Optional[FdStatistics] = None,
+    ) -> float:
+        """Score ``fd`` on ``relation``; always in ``[0, 1]``.
+
+        ``statistics`` may be supplied to share the sufficient statistics
+        across measures scoring the same candidate.
+        """
+        if statistics is None:
+            statistics = FdStatistics.compute(relation, fd)
+        return self.score_from_statistics(statistics)
+
+    def score_from_statistics(self, statistics: FdStatistics) -> float:
+        """Score directly from precomputed sufficient statistics."""
+        if statistics.is_empty or statistics.satisfied:
+            return 1.0
+        return clamp_unit_interval(self._score_violated(statistics))
+
+    @abc.abstractmethod
+    def _score_violated(self, statistics: FdStatistics) -> float:
+        """Score for the violated case (``R`` non-empty and ``R ̸|= φ``)."""
+
+    # ------------------------------------------------------------------
+    # Presentation helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r} ({self.measure_class})>"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,155 @@
+"""Registry of all AFD measures.
+
+Provides canonical instances of every measure studied by the paper, keyed
+by name, so that the evaluation harness, experiments and examples can
+iterate over "all measures" consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.base import AfdMeasure, MeasureClass
+from repro.core.logical import (
+    G1Measure,
+    G1PrimeMeasure,
+    MuPlusMeasure,
+    PdepMeasure,
+    TauMeasure,
+)
+from repro.core.shannon import (
+    FIMeasure,
+    GS1Measure,
+    RfiPlusMeasure,
+    RfiPrimePlusMeasure,
+    SfiMeasure,
+)
+from repro.core.violation import G2Measure, G3Measure, G3PrimeMeasure, RhoMeasure
+
+#: Canonical measure order used in the paper's tables and figures.
+MEASURE_ORDER = (
+    "rho",
+    "g2",
+    "g3",
+    "g3_prime",
+    "gS1",
+    "fi",
+    "rfi_plus",
+    "rfi_prime_plus",
+    "sfi",
+    "g1",
+    "g1_prime",
+    "pdep",
+    "tau",
+    "mu_plus",
+)
+
+#: Pretty labels matching the paper's notation.
+PAPER_LABELS = {
+    "rho": "ρ",
+    "g2": "g2",
+    "g3": "g3",
+    "g3_prime": "g3'",
+    "gS1": "gS1",
+    "fi": "FI",
+    "rfi_plus": "RFI+",
+    "rfi_prime_plus": "RFI'+",
+    "sfi": "SFI",
+    "g1": "g1",
+    "g1_prime": "g1'",
+    "pdep": "pdep",
+    "tau": "τ",
+    "mu_plus": "μ+",
+}
+
+
+def all_measures(
+    expectation: str = "exact",
+    mc_samples: int = 200,
+    sfi_alpha: float = 0.5,
+    seed: Optional[int] = 0,
+) -> Dict[str, AfdMeasure]:
+    """Fresh instances of all fourteen measures, keyed by name.
+
+    ``expectation`` selects the permutation-expectation strategy used by
+    RFI+ and RFI'+ (``"exact"`` or ``"monte-carlo"``).
+    """
+    measures: List[AfdMeasure] = [
+        RhoMeasure(),
+        G2Measure(),
+        G3Measure(),
+        G3PrimeMeasure(),
+        GS1Measure(),
+        FIMeasure(),
+        RfiPlusMeasure(expectation=expectation, samples=mc_samples, seed=seed),
+        RfiPrimePlusMeasure(expectation=expectation, samples=mc_samples, seed=seed),
+        SfiMeasure(alpha=sfi_alpha),
+        G1Measure(),
+        G1PrimeMeasure(),
+        PdepMeasure(),
+        TauMeasure(),
+        MuPlusMeasure(),
+    ]
+    by_name = {measure.name: measure for measure in measures}
+    sfi = next(measure for measure in measures if isinstance(measure, SfiMeasure))
+    result: Dict[str, AfdMeasure] = {}
+    for name in MEASURE_ORDER:
+        if name in by_name:
+            result[name] = by_name[name]
+        elif name == "sfi":
+            # SFI renames itself when a non-default alpha is requested
+            # (e.g. "sfi_1"); keep the customised name as the key.
+            result[sfi.name] = sfi
+    return result
+
+
+def default_measures(**kwargs) -> Dict[str, AfdMeasure]:
+    """Alias of :func:`all_measures` with default parameters."""
+    return all_measures(**kwargs)
+
+
+def fast_measures() -> Dict[str, AfdMeasure]:
+    """Only the efficiently computable measures (Table III, 'Efficiently computable')."""
+    return {
+        name: measure
+        for name, measure in all_measures().items()
+        if measure.efficiently_computable
+    }
+
+
+def get_measure(name: str, **kwargs) -> AfdMeasure:
+    """A single measure instance by name (raises ``KeyError`` if unknown)."""
+    measures = all_measures(**kwargs)
+    if name not in measures:
+        raise KeyError(f"unknown measure {name!r}; known measures: {sorted(measures)}")
+    return measures[name]
+
+
+def measure_names() -> List[str]:
+    """Canonical measure names in paper order."""
+    return list(MEASURE_ORDER)
+
+
+def measures_by_class(
+    measure_class: MeasureClass, measures: Optional[Dict[str, AfdMeasure]] = None
+) -> Dict[str, AfdMeasure]:
+    """Subset of measures belonging to a given class."""
+    measures = measures if measures is not None else all_measures()
+    return {
+        name: measure
+        for name, measure in measures.items()
+        if measure.measure_class == measure_class
+    }
+
+
+def paper_label(name: str) -> str:
+    """The paper's symbol for a measure name (falls back to the name itself)."""
+    return PAPER_LABELS.get(name, name)
+
+
+def subset(names: Iterable[str], **kwargs) -> Dict[str, AfdMeasure]:
+    """A selection of measures by name, preserving the paper order."""
+    wanted = set(names)
+    return {
+        name: measure for name, measure in all_measures(**kwargs).items() if name in wanted
+    }

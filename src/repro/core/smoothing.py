@@ -1,0 +1,39 @@
+"""Laplace smoothing of contingency tables for smoothed FI (SFIα).
+
+``SFI_α(X -> Y, R) = FI(X -> Y, π^(α)_{XY}(R))`` where the α-smoothed
+projection adds ``α`` pseudo-counts to *every* combination of
+``x ∈ dom_R(X)`` and ``y ∈ dom_R(Y)``, including combinations that never
+occur in ``R`` (Section IV-C).  The smoothed table can therefore be much
+larger than the original relation, which is the source of SFI's cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.statistics import FdStatistics
+
+
+def smoothed_joint_counts(
+    statistics: FdStatistics, alpha: float
+) -> Dict[Tuple, float]:
+    """The α-smoothed joint ``(x, y)`` pseudo-counts of the FD's projection."""
+    if alpha <= 0:
+        raise ValueError(f"smoothing parameter alpha must be positive, got {alpha}")
+    smoothed: Dict[Tuple, float] = {}
+    for x in statistics.x_counts:
+        for y in statistics.y_counts:
+            smoothed[(x, y)] = statistics.xy_counts.get((x, y), 0) + alpha
+    return smoothed
+
+
+def smoothed_marginals(
+    smoothed_joint: Dict[Tuple, float]
+) -> Tuple[Dict[object, float], Dict[object, float]]:
+    """Marginal pseudo-counts of a smoothed joint table (X then Y)."""
+    x_counts: Dict[object, float] = {}
+    y_counts: Dict[object, float] = {}
+    for (x, y), count in smoothed_joint.items():
+        x_counts[x] = x_counts.get(x, 0.0) + count
+        y_counts[y] = y_counts.get(y, 0.0) + count
+    return x_counts, y_counts

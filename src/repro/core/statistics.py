@@ -1,0 +1,230 @@
+"""Shared sufficient statistics for AFD measures.
+
+Every measure in the paper is a function of the group structure that an
+FD ``X -> Y`` induces on a relation ``R``: the multiplicities of distinct
+``x`` values, distinct ``y`` values, distinct ``(x, y)`` pairs, and (for
+the normalised g1 variant) of full tuples ``w``.  :class:`FdStatistics`
+computes this once so that scoring all measures on the same candidate FD
+shares the work, which is also how the runtime experiment (Table V of the
+paper) is structured.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.relation.fd import FunctionalDependency
+from repro.relation.operations import group_counts, joint_counts
+from repro.relation.relation import Relation
+
+
+@dataclass
+class FdStatistics:
+    """Sufficient statistics of a candidate FD ``X -> Y`` on a relation.
+
+    All counts are computed on the subrelation of tuples that are non-NULL
+    on every attribute of ``X ∪ Y`` (the paper's NULL convention,
+    Section VI-A).
+    """
+
+    fd: FunctionalDependency
+    num_rows: int
+    x_counts: Counter
+    y_counts: Counter
+    xy_counts: Counter
+    groups: Dict[Tuple, Counter]
+    full_tuple_counts: Counter
+    relation_name: str = ""
+    _cache: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(cls, relation: Relation, fd: FunctionalDependency) -> "FdStatistics":
+        """Compute statistics of ``fd`` on ``relation`` (NULLs dropped)."""
+        restricted = relation.drop_nulls(fd.attributes)
+        xy = joint_counts(restricted, fd.lhs, fd.rhs)
+        x_counts: Counter = Counter()
+        y_counts: Counter = Counter()
+        for (x, y), count in xy.items():
+            x_counts[x] += count
+            y_counts[y] += count
+        return cls(
+            fd=fd,
+            num_rows=restricted.num_rows,
+            x_counts=x_counts,
+            y_counts=y_counts,
+            xy_counts=xy,
+            groups=group_counts(restricted, fd.lhs, fd.rhs),
+            full_tuple_counts=restricted.frequencies(),
+            relation_name=relation.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural facts
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.num_rows == 0
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the (NULL-restricted) relation satisfies the FD."""
+        return all(len(y_counter) <= 1 for y_counter in self.groups.values())
+
+    @property
+    def distinct_x(self) -> int:
+        """``|dom_R(X)|``."""
+        return len(self.x_counts)
+
+    @property
+    def distinct_y(self) -> int:
+        """``|dom_R(Y)|``."""
+        return len(self.y_counts)
+
+    @property
+    def distinct_xy(self) -> int:
+        """``|dom_R(XY)|``."""
+        return len(self.xy_counts)
+
+    @property
+    def lhs_uniqueness(self) -> float:
+        """``|dom_R(X)| / |R|`` — the LHS-uniqueness statistic of Section V."""
+        if self.num_rows == 0:
+            return 0.0
+        return self.distinct_x / self.num_rows
+
+    # ------------------------------------------------------------------
+    # Probability building blocks (cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, compute) -> float:
+        value = self._cache.get(key)
+        if value is None:
+            value = compute()
+            self._cache[key] = value
+        return value
+
+    def sum_squared_x_probabilities(self) -> float:
+        """``Σ_x p(x)²`` (equals ``1 - h_R(X)``)."""
+        return self._cached(
+            "sum_sq_x",
+            lambda: sum((count / self.num_rows) ** 2 for count in self.x_counts.values()),
+        )
+
+    def sum_squared_y_probabilities(self) -> float:
+        """``Σ_y p(y)²`` (equals ``pdep(Y, R) = 1 - h_R(Y)``)."""
+        return self._cached(
+            "sum_sq_y",
+            lambda: sum((count / self.num_rows) ** 2 for count in self.y_counts.values()),
+        )
+
+    def sum_squared_xy_probabilities(self) -> float:
+        """``Σ_{x,y} p(xy)²``."""
+        return self._cached(
+            "sum_sq_xy",
+            lambda: sum((count / self.num_rows) ** 2 for count in self.xy_counts.values()),
+        )
+
+    def sum_squared_tuple_counts(self) -> int:
+        """``Σ_w R(w)²`` over full tuples ``w`` of the restricted relation."""
+        return int(
+            self._cached(
+                "sum_sq_w",
+                lambda: float(sum(count**2 for count in self.full_tuple_counts.values())),
+            )
+        )
+
+    def violating_pair_count(self) -> int:
+        """``|G1(X -> Y, R)|``: ordered pairs equal on X but different on Y."""
+        return int(
+            self._cached(
+                "violating_pairs",
+                lambda: float(
+                    sum(
+                        sum(y_counter.values()) ** 2
+                        - sum(count**2 for count in y_counter.values())
+                        for y_counter in self.groups.values()
+                    )
+                ),
+            )
+        )
+
+    def violating_tuple_count(self) -> int:
+        """``Σ_{w ∈ G2} R(w)``: tuples participating in at least one violating pair."""
+        return int(
+            self._cached(
+                "violating_tuples",
+                lambda: float(
+                    sum(
+                        sum(y_counter.values())
+                        for y_counter in self.groups.values()
+                        if len(y_counter) > 1
+                    )
+                ),
+            )
+        )
+
+    def max_subrelation_size(self) -> int:
+        """Size of the largest subrelation satisfying the FD (numerator of g3)."""
+        return int(
+            self._cached(
+                "max_subrelation",
+                lambda: float(
+                    sum(max(y_counter.values()) for y_counter in self.groups.values())
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Entropies (cached; Shannon entropies use the provided base)
+    # ------------------------------------------------------------------
+    def shannon_entropy_y(self, base: float = 2.0) -> float:
+        from repro.info.shannon import entropy_of_counts
+
+        return self._cached(f"H_y_{base}", lambda: entropy_of_counts(self.y_counts, base=base))
+
+    def shannon_entropy_x(self, base: float = 2.0) -> float:
+        from repro.info.shannon import entropy_of_counts
+
+        return self._cached(f"H_x_{base}", lambda: entropy_of_counts(self.x_counts, base=base))
+
+    def shannon_conditional_entropy(self, base: float = 2.0) -> float:
+        """``H_R(Y | X)``."""
+        from repro.info.shannon import conditional_entropy
+
+        return self._cached(
+            f"H_y_given_x_{base}", lambda: conditional_entropy(self.xy_counts, base=base)
+        )
+
+    def mutual_information(self, base: float = 2.0) -> float:
+        """``I_R(X; Y) = H_R(Y) - H_R(Y | X)``."""
+        from repro.info.shannon import mutual_information
+
+        return self._cached(f"I_xy_{base}", lambda: mutual_information(self.xy_counts, base=base))
+
+    def logical_entropy_y(self) -> float:
+        """``h_R(Y) = 1 - Σ_y p(y)²``."""
+        return 1.0 - self.sum_squared_y_probabilities()
+
+    def logical_conditional_entropy(self) -> float:
+        """``h_R(Y | X) = Σ_x p(x)² - Σ_{xy} p(xy)²``."""
+        return max(
+            self.sum_squared_x_probabilities() - self.sum_squared_xy_probabilities(), 0.0
+        )
+
+    def expected_group_logical_entropy(self) -> float:
+        """``E_x[h_R(Y | x)]`` — the quantity underlying pdep."""
+
+        def compute() -> float:
+            result = 0.0
+            for y_counter in self.groups.values():
+                group_total = sum(y_counter.values())
+                p_x = group_total / self.num_rows
+                within = 1.0 - sum((count / group_total) ** 2 for count in y_counter.values())
+                result += p_x * within
+            return result
+
+        return self._cached("E_h_y_given_x", compute)

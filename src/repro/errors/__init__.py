@@ -1,0 +1,32 @@
+"""Error channels and the RWDe benchmark construction (Appendix G).
+
+Implements the three Arocena-style cell error types (copy, typo, bogus)
+and the procedure that derives the RWDe benchmarks from RWD relations by
+corrupting selected perfect design FDs at a controlled error level.
+"""
+
+from repro.errors.channels import (
+    ErrorType,
+    apply_error_channel,
+    corrupt_fd,
+    modifiable_positions,
+)
+from repro.errors.rwde import (
+    RwdeBenchmark,
+    RwdeRelation,
+    build_rwde_benchmark,
+    build_rwde_grid,
+    build_rwde_relation,
+)
+
+__all__ = [
+    "ErrorType",
+    "RwdeBenchmark",
+    "RwdeRelation",
+    "apply_error_channel",
+    "build_rwde_benchmark",
+    "build_rwde_grid",
+    "build_rwde_relation",
+    "corrupt_fd",
+    "modifiable_positions",
+]

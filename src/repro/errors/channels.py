@@ -1,0 +1,142 @@
+"""Cell-level error channels (Appendix G of the paper).
+
+Given an FD ``X -> Y`` that holds perfectly in a relation, the channel
+modifies ``k = ⌊η |R|⌋`` Y-values so that the FD becomes approximate.
+Three error types are supported, inspired by Arocena et al. (BART):
+
+* ``copy``  — replace ``w|Y`` by the Y-value of another tuple with a
+  different Y-value (no new values are introduced; ``dom_R(Y)`` is stable);
+* ``typo``  — replace ``w|Y`` by one of three typo variants associated with
+  the original value (a bounded number of new values);
+* ``bogus`` — replace ``w|Y`` by a freshly generated unique value
+  (the number of new values grows with the error level).
+
+To ensure that increasing the error level never *reduces* violations, at
+most ``⌊N_x / 2⌋`` tuples are modified per X-group, where ``N_x`` is the
+group size; the X column is never touched.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+
+
+class ErrorType(enum.Enum):
+    """The three cell error types of Appendix G."""
+
+    COPY = "copy"
+    TYPO = "typo"
+    BOGUS = "bogus"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def modifiable_positions(
+    relation: Relation, fd: FunctionalDependency, rng: np.random.Generator
+) -> List[int]:
+    """Row positions eligible for modification under the per-group cap.
+
+    For each X-group of size ``N_x`` at most ``⌊N_x / 2⌋`` positions are
+    selected (uniformly at random without replacement), so repeated
+    applications at increasing error levels can only add violations.
+    Rows with a NULL on an FD attribute are never modified.
+    """
+    lhs_indices = relation._attribute_indices(fd.lhs)
+    fd_indices = relation._attribute_indices(fd.attributes)
+    groups: Dict[Tuple, List[int]] = {}
+    for position, row in enumerate(relation):
+        if any(row[i] is None for i in fd_indices):
+            continue
+        key = tuple(row[i] for i in lhs_indices)
+        groups.setdefault(key, []).append(position)
+    eligible: List[int] = []
+    for positions in groups.values():
+        cap = len(positions) // 2
+        if cap == 0:
+            continue
+        chosen = rng.choice(len(positions), size=cap, replace=False)
+        eligible.extend(positions[i] for i in chosen)
+    return sorted(eligible)
+
+
+def _typo_variants(value: object) -> List[str]:
+    """Three deterministic typo variants of a value (common typo classes)."""
+    text = str(value)
+    swapped = text[1] + text[0] + text[2:] if len(text) >= 2 else text + "_"
+    dropped = text[:-1] if len(text) >= 2 else text + "-"
+    doubled = text + text[-1] if text else "?"
+    return [f"{swapped}", f"{dropped}", f"{doubled}"]
+
+
+def corrupt_fd(
+    relation: Relation,
+    fd: FunctionalDependency,
+    error_count: int,
+    error_type: ErrorType,
+    rng: np.random.Generator,
+    eligible_positions: Optional[Sequence[int]] = None,
+) -> Optional[Relation]:
+    """Corrupt ``error_count`` Y-cells of ``relation`` for the FD ``X -> Y``.
+
+    Returns the corrupted relation, or ``None`` when the per-group cap does
+    not leave enough modifiable positions to realise ``error_count`` errors
+    (the paper omits such FDs from RWDe).
+    """
+    if error_count <= 0:
+        return relation.with_rows(relation.rows())
+    if len(fd.rhs) != 1:
+        raise ValueError(f"error channels corrupt a single RHS attribute, got FD {fd}")
+    rows = relation.rows()
+    rhs_index = relation.attributes.index(fd.rhs[0])
+    positions = (
+        list(eligible_positions)
+        if eligible_positions is not None
+        else modifiable_positions(relation, fd, rng)
+    )
+    if len(positions) < error_count:
+        return None
+    chosen = rng.choice(len(positions), size=error_count, replace=False)
+    targets = [positions[i] for i in chosen]
+    distinct_rhs = sorted({row[rhs_index] for row in rows if row[rhs_index] is not None}, key=repr)
+    if error_type is ErrorType.COPY and len(distinct_rhs) < 2:
+        return None
+    bogus_counter = 0
+    for position in targets:
+        row = list(rows[position])
+        current = row[rhs_index]
+        if error_type is ErrorType.COPY:
+            alternatives = [value for value in distinct_rhs if value != current]
+            row[rhs_index] = alternatives[int(rng.integers(0, len(alternatives)))]
+        elif error_type is ErrorType.TYPO:
+            variants = _typo_variants(current)
+            row[rhs_index] = variants[int(rng.integers(0, len(variants)))]
+        elif error_type is ErrorType.BOGUS:
+            bogus_counter += 1
+            row[rhs_index] = f"__bogus_{fd.rhs[0]}_{position}_{bogus_counter}"
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown error type {error_type!r}")
+        rows[position] = tuple(row)
+    return relation.with_rows(rows)
+
+
+def apply_error_channel(
+    relation: Relation,
+    fd: FunctionalDependency,
+    error_level: float,
+    error_type: ErrorType,
+    rng: np.random.Generator,
+) -> Optional[Relation]:
+    """Corrupt ``⌊error_level * |R|⌋`` Y-cells of ``relation`` for ``fd``.
+
+    Returns ``None`` when the FD cannot absorb that many errors under the
+    per-group cap (such FDs are omitted from RWDe).
+    """
+    error_count = int(error_level * relation.num_rows)
+    return corrupt_fd(relation, fd, error_count, error_type, rng)

@@ -1,0 +1,38 @@
+"""Information-theoretic substrate.
+
+Empirical probability distributions induced by relations (Section III of
+the paper) together with Shannon entropy and logical entropy, both in
+their plain and conditional forms, and mutual information.
+"""
+
+from repro.info.distribution import (
+    EmpiricalDistribution,
+    conditional_distributions,
+    joint_distribution,
+    marginal_distribution,
+)
+from repro.info.logical import (
+    conditional_logical_entropy,
+    expected_conditional_logical_entropy,
+    logical_entropy,
+)
+from repro.info.shannon import (
+    conditional_entropy,
+    entropy,
+    entropy_of_counts,
+    mutual_information,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "conditional_distributions",
+    "conditional_entropy",
+    "conditional_logical_entropy",
+    "entropy",
+    "entropy_of_counts",
+    "expected_conditional_logical_entropy",
+    "joint_distribution",
+    "logical_entropy",
+    "marginal_distribution",
+    "mutual_information",
+]

@@ -1,0 +1,99 @@
+"""Empirical probability distributions induced by relations.
+
+The joint probability distribution ``p_R`` over the schema ``W`` of a
+relation ``R`` assigns to each tuple ``w`` the probability
+``p_R(w) = R(w) / |R|`` of drawing ``w`` when sampling a tuple from ``R``
+uniformly at random (Section III, "Probabilities").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.relation.relation import Relation
+
+
+class EmpiricalDistribution:
+    """A finite probability distribution backed by non-negative counts."""
+
+    def __init__(self, counts: Mapping[Hashable, int]):
+        total = 0
+        cleaned: Dict[Hashable, int] = {}
+        for outcome, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative count {count} for outcome {outcome!r}")
+            if count > 0:
+                cleaned[outcome] = count
+                total += count
+        if total == 0:
+            raise ValueError("cannot build a distribution from all-zero counts")
+        self._counts = cleaned
+        self._total = total
+
+    @property
+    def total(self) -> int:
+        """Total number of observations backing the distribution."""
+        return self._total
+
+    @property
+    def support_size(self) -> int:
+        """Number of outcomes with non-zero probability."""
+        return len(self._counts)
+
+    def counts(self) -> Dict[Hashable, int]:
+        """A copy of the underlying counts."""
+        return dict(self._counts)
+
+    def probability(self, outcome: Hashable) -> float:
+        """``p(outcome)``; zero for outcomes outside the support."""
+        return self._counts.get(outcome, 0) / self._total
+
+    def probabilities(self) -> Dict[Hashable, float]:
+        """Mapping of every outcome in the support to its probability."""
+        return {outcome: count / self._total for outcome, count in self._counts.items()}
+
+    def outcomes(self) -> Iterable[Hashable]:
+        return self._counts.keys()
+
+    def __iter__(self):
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<EmpiricalDistribution over {len(self._counts)} outcomes, n={self._total}>"
+
+
+def joint_distribution(
+    relation: Relation, lhs: Iterable[str] | str, rhs: Iterable[str] | str
+) -> EmpiricalDistribution:
+    """The empirical joint distribution of ``(x, y)`` pairs in ``relation``."""
+    from repro.relation.operations import joint_counts
+
+    return EmpiricalDistribution(joint_counts(relation, lhs, rhs))
+
+
+def marginal_distribution(
+    relation: Relation, attributes: Iterable[str] | str
+) -> EmpiricalDistribution:
+    """The empirical marginal distribution of ``attributes`` in ``relation``."""
+    return EmpiricalDistribution(relation.frequencies(attributes))
+
+
+def conditional_distributions(
+    relation: Relation, lhs: Iterable[str] | str, rhs: Iterable[str] | str
+) -> Dict[Tuple, EmpiricalDistribution]:
+    """Per-``x`` conditional distributions ``p_R(Y | X = x)``."""
+    from repro.relation.operations import group_counts
+
+    return {
+        x: EmpiricalDistribution(counter)
+        for x, counter in group_counts(relation, lhs, rhs).items()
+    }
+
+
+def distribution_from_values(values: Iterable[Hashable]) -> EmpiricalDistribution:
+    """Empirical distribution of a raw value sequence."""
+    return EmpiricalDistribution(Counter(values))

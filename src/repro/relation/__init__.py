@@ -1,0 +1,36 @@
+"""Bag-based relation substrate.
+
+This subpackage implements the relational machinery the paper relies on:
+bag-based relations (Section III of the paper), attribute handling,
+functional dependencies and their satisfaction, bag projection and
+selection, NULL handling (Section VI-A), stripped partitions (position
+list indices) and CSV input/output.
+"""
+
+from repro.relation.attribute import canonical_attributes, validate_attributes
+from repro.relation.fd import FunctionalDependency
+from repro.relation.nulls import NULL, is_null
+from repro.relation.partition import StrippedPartition
+from repro.relation.relation import Relation
+from repro.relation.operations import (
+    group_counts,
+    joint_counts,
+    marginal_counts,
+    project,
+    select_equal,
+)
+
+__all__ = [
+    "FunctionalDependency",
+    "NULL",
+    "Relation",
+    "StrippedPartition",
+    "canonical_attributes",
+    "group_counts",
+    "is_null",
+    "joint_counts",
+    "marginal_counts",
+    "project",
+    "select_equal",
+    "validate_attributes",
+]

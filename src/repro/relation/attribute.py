@@ -1,0 +1,49 @@
+"""Attribute handling utilities.
+
+Attributes are plain strings.  Sets of attributes are represented as
+tuples of strings in a canonical (sorted) order so that they can be used
+as dictionary keys and compared structurally, mirroring the boldface
+``X``, ``Y`` notation of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def canonical_attributes(attributes: Iterable[str] | str) -> Tuple[str, ...]:
+    """Return the canonical (sorted, duplicate-free) form of an attribute set.
+
+    A single attribute may be passed as a bare string.
+
+    >>> canonical_attributes("B")
+    ('B',)
+    >>> canonical_attributes(["B", "A", "B"])
+    ('A', 'B')
+    """
+    if isinstance(attributes, str):
+        return (attributes,)
+    return tuple(sorted(set(attributes)))
+
+
+def validate_attributes(
+    attributes: Sequence[str], available: Sequence[str], context: str = "attribute set"
+) -> Tuple[str, ...]:
+    """Validate that ``attributes`` all occur in ``available``.
+
+    Returns the canonical form of ``attributes``.  Raises :class:`KeyError`
+    naming the missing attributes otherwise.
+    """
+    canonical = canonical_attributes(attributes)
+    missing = [attribute for attribute in canonical if attribute not in set(available)]
+    if missing:
+        raise KeyError(
+            f"{context} refers to unknown attribute(s) {missing}; "
+            f"available attributes are {list(available)}"
+        )
+    return canonical
+
+
+def attribute_label(attributes: Sequence[str]) -> str:
+    """Human-readable label for an attribute set, e.g. ``"A,B"``."""
+    return ",".join(attributes)

@@ -1,0 +1,98 @@
+"""CSV input/output for relations.
+
+The RWD benchmark relations are distributed as CSV files; this module
+provides loading (with configurable NULL markers and optional numeric
+type inference) and saving so that users can run the library on their own
+data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.relation.relation import Relation
+
+DEFAULT_NULL_MARKERS = ("", "NULL", "null", "NA", "N/A", "?")
+
+
+def _coerce(value: str) -> object:
+    """Best-effort conversion of a CSV cell to int or float."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def read_csv(
+    path: Union[str, Path],
+    null_markers: Sequence[str] = DEFAULT_NULL_MARKERS,
+    infer_types: bool = True,
+    delimiter: str = ",",
+    name: Optional[str] = None,
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Cells equal to one of ``null_markers`` become NULL (``None``).  With
+    ``infer_types=True`` integer- and float-looking cells are converted to
+    Python numbers.
+    """
+    path = Path(path)
+    null_set = set(null_markers)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty (no header row)") from None
+        rows = []
+        for raw_row in reader:
+            if len(raw_row) != len(header):
+                raise ValueError(
+                    f"row {raw_row!r} in {path} has {len(raw_row)} cells, "
+                    f"expected {len(header)}"
+                )
+            converted = []
+            for cell in raw_row:
+                if cell in null_set:
+                    converted.append(None)
+                elif infer_types:
+                    converted.append(_coerce(cell))
+                else:
+                    converted.append(cell)
+            rows.append(tuple(converted))
+    return Relation(header, rows, name=name or path.stem)
+
+
+def write_csv(
+    relation: Relation,
+    path: Union[str, Path],
+    null_marker: str = "",
+    delimiter: str = ",",
+) -> Path:
+    """Write a relation to a CSV file with a header row.
+
+    NULL cells are written as ``null_marker``.  Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.attributes)
+        for row in relation:
+            writer.writerow([null_marker if cell is None else cell for cell in row])
+    return path
+
+
+def read_csv_directory(
+    directory: Union[str, Path], pattern: str = "*.csv", **kwargs
+) -> Iterable[Relation]:
+    """Load every CSV file in ``directory`` matching ``pattern``."""
+    directory = Path(directory)
+    for path in sorted(directory.glob(pattern)):
+        yield read_csv(path, **kwargs)

@@ -1,0 +1,33 @@
+"""NULL value handling.
+
+The paper (Section VI-A) ignores NULL values when checking FD satisfaction
+and when computing measure scores: the score of a measure ``f`` on
+``(X -> Y, R)`` is computed on the subrelation of ``R`` consisting of all
+tuples that are non-NULL on every attribute in ``X ∪ Y``.
+
+We represent NULL as Python ``None``; the helpers below centralise the
+convention so that the rest of the code never compares against ``None``
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: The canonical NULL marker used throughout the library.
+NULL = None
+
+
+def is_null(value: Any) -> bool:
+    """Return True if ``value`` represents a NULL cell.
+
+    ``None`` is NULL.  For convenience when loading CSV files, the empty
+    string is *not* treated as NULL here; :mod:`repro.relation.io` maps
+    configurable textual null markers to ``None`` at parse time.
+    """
+    return value is None
+
+
+def has_null(values: tuple) -> bool:
+    """Return True if any component of a tuple is NULL."""
+    return any(value is None for value in values)

@@ -1,0 +1,185 @@
+"""Stripped partitions (position list indices).
+
+A *partition* of a relation ``R`` under an attribute set ``X`` groups the
+row positions of ``R`` by their ``X``-value.  The *stripped* partition
+drops singleton groups; it is the classical data structure (also called a
+position list index, PLI) used by TANE-style dependency discovery
+algorithms and gives linear-time computation of the ``g3`` error as well
+as cheap partition products for lattice traversal.
+
+The partition substrate is used by :mod:`repro.discovery.lattice` (the
+non-linear AFD discovery extension) and provides an independent
+implementation of FD satisfaction and ``g3`` used for cross-validation in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.relation.attribute import canonical_attributes
+from repro.relation.relation import Relation
+
+
+class StrippedPartition:
+    """A stripped partition of row positions grouped by attribute values.
+
+    Parameters
+    ----------
+    num_rows:
+        Number of rows of the underlying relation.
+    clusters:
+        Groups of row positions with identical values, each of size >= 2.
+    attributes:
+        The attribute set the partition was computed over (informational).
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        clusters: Iterable[Sequence[int]],
+        attributes: Tuple[str, ...] = (),
+    ):
+        self.num_rows = num_rows
+        self.attributes = tuple(attributes)
+        self.clusters: List[Tuple[int, ...]] = [
+            tuple(sorted(cluster)) for cluster in clusters if len(cluster) >= 2
+        ]
+        self.clusters.sort()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, attributes: Iterable[str] | str
+    ) -> "StrippedPartition":
+        """Compute the stripped partition of ``relation`` under ``attributes``."""
+        key = canonical_attributes(attributes)
+        indices = relation._attribute_indices(key)
+        groups: Dict[Tuple[object, ...], List[int]] = {}
+        for position, row in enumerate(relation):
+            value = tuple(row[i] for i in indices)
+            groups.setdefault(value, []).append(position)
+        return cls(relation.num_rows, groups.values(), attributes=key)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of non-singleton clusters, ``|π|`` in TANE notation."""
+        return len(self.clusters)
+
+    @property
+    def total_positions(self) -> int:
+        """Number of row positions covered by non-singleton clusters, ``||π||``."""
+        return sum(len(cluster) for cluster in self.clusters)
+
+    @property
+    def num_groups(self) -> int:
+        """Total number of equivalence classes, including singletons."""
+        return self.num_rows - self.total_positions + self.size
+
+    def error(self) -> float:
+        """The TANE error ``e(X) = (||π|| - |π|) / |R|``.
+
+        This equals ``1 - |dom_R(X)| / |R|`` and is 0 exactly when the
+        attribute set is a key of the relation.
+        """
+        if self.num_rows == 0:
+            return 0.0
+        return (self.total_positions - self.size) / self.num_rows
+
+    # ------------------------------------------------------------------
+    # Partition algebra
+    # ------------------------------------------------------------------
+    def refines(self, other: "StrippedPartition") -> bool:
+        """True when every cluster of ``self`` is contained in a cluster of ``other``.
+
+        ``π_X`` refines ``π_Y`` if and only if the FD ``X -> Y`` holds.
+        """
+        owner = [-1] * self.num_rows
+        for cluster_id, cluster in enumerate(other.clusters):
+            for position in cluster:
+                owner[position] = cluster_id
+        for cluster in self.clusters:
+            # Singleton clusters of ``other`` have owner -1; all positions in a
+            # cluster of ``self`` must map to the same owner, and that owner
+            # must not be a singleton unless the cluster itself is trivial.
+            owners = {owner[position] for position in cluster}
+            if len(owners) > 1:
+                return False
+            if owners == {-1} and len(cluster) > 1:
+                return False
+        return True
+
+    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+        """The partition product ``π_X · π_Z`` (grouping by ``X ∪ Z``)."""
+        if self.num_rows != other.num_rows:
+            raise ValueError(
+                f"cannot intersect partitions over relations of different sizes "
+                f"({self.num_rows} vs {other.num_rows})"
+            )
+        owner = [-1] * self.num_rows
+        for cluster_id, cluster in enumerate(other.clusters):
+            for position in cluster:
+                owner[position] = cluster_id
+        new_clusters: List[List[int]] = []
+        for cluster in self.clusters:
+            sub_groups: Dict[int, List[int]] = {}
+            for position in cluster:
+                other_id = owner[position]
+                if other_id == -1:
+                    continue
+                sub_groups.setdefault(other_id, []).append(position)
+            for group in sub_groups.values():
+                if len(group) >= 2:
+                    new_clusters.append(group)
+        attributes = canonical_attributes(self.attributes + other.attributes)
+        return StrippedPartition(self.num_rows, new_clusters, attributes=attributes)
+
+    # ------------------------------------------------------------------
+    # FD-related quantities
+    # ------------------------------------------------------------------
+    def g3_error(self, joint: "StrippedPartition") -> float:
+        """``1 - g3`` computed from the LHS partition and the LHS∪RHS partition.
+
+        Using the classical identity: the maximal satisfying subrelation keeps,
+        for every LHS group, the largest sub-group that agrees on the RHS.
+        """
+        if self.num_rows == 0:
+            return 0.0
+        # Map positions to the size of their joint cluster (1 for singletons).
+        joint_cluster_size = [1] * self.num_rows
+        joint_cluster_id = [-1] * self.num_rows
+        for cluster_id, cluster in enumerate(joint.clusters):
+            for position in cluster:
+                joint_cluster_size[position] = len(cluster)
+                joint_cluster_id[position] = cluster_id
+        kept = 0
+        covered = 0
+        for cluster in self.clusters:
+            best = 1
+            seen: Dict[int, int] = {}
+            for position in cluster:
+                cluster_id = joint_cluster_id[position]
+                if cluster_id == -1:
+                    continue
+                seen[cluster_id] = joint_cluster_size[position]
+            if seen:
+                best = max(best, max(seen.values()))
+            kept += best
+            covered += len(cluster)
+        # Rows outside any LHS cluster are singletons on the LHS and always kept.
+        kept += self.num_rows - covered
+        return (self.num_rows - kept) / self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = ",".join(self.attributes) or "?"
+        return f"<StrippedPartition over {label}: {self.size} clusters>"
+
+
+def partition_for(relation: Relation, attributes: Iterable[str] | str) -> StrippedPartition:
+    """Convenience wrapper for :meth:`StrippedPartition.from_relation`."""
+    return StrippedPartition.from_relation(relation, attributes)

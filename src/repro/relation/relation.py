@@ -1,0 +1,325 @@
+"""Bag-based relations.
+
+A relation over a schema ``W`` is a bag (multiset) of tuples over ``W``
+(Section III of the paper).  The implementation stores the bag as a list
+of value tuples — duplicates are kept — together with the ordered list of
+attribute names.  All derived quantities (frequencies, projections,
+active domains) are computed lazily and cached where it pays off.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.relation.attribute import canonical_attributes, validate_attributes
+from repro.relation.fd import FunctionalDependency
+from repro.relation.nulls import has_null
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A finite bag-based relation ``R(W)``.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names of the schema ``W``.
+    rows:
+        Iterable of tuples; each tuple must have the same arity as
+        ``attributes``.  Duplicates are preserved (bag semantics).
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+        name: str = "",
+    ):
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise ValueError(f"duplicate attribute names in schema {self._attributes}")
+        self.name = name
+        self._rows: List[Row] = []
+        arity = len(self._attributes)
+        for row in rows:
+            value_tuple = tuple(row)
+            if len(value_tuple) != arity:
+                raise ValueError(
+                    f"row {value_tuple!r} has arity {len(value_tuple)}, "
+                    f"expected {arity} for schema {self._attributes}"
+                )
+            self._rows.append(value_tuple)
+        self._index_cache: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
+        self._frequency_cache: Dict[Tuple[str, ...], Counter] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Iterable[Mapping[str, object]],
+        attributes: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> "Relation":
+        """Build a relation from dictionaries (missing keys become NULL)."""
+        records = list(records)
+        if attributes is None:
+            seen: List[str] = []
+            for record in records:
+                for key in record:
+                    if key not in seen:
+                        seen.append(key)
+            attributes = seen
+        rows = [tuple(record.get(attribute) for attribute in attributes) for record in records]
+        return cls(attributes, rows, name=name)
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Sequence[object]], name: str = ""
+    ) -> "Relation":
+        """Build a relation from a column-oriented mapping."""
+        attributes = list(columns)
+        if not attributes:
+            return cls([], [], name=name)
+        lengths = {attribute: len(columns[attribute]) for attribute in attributes}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"columns have inconsistent lengths: {lengths}")
+        n_rows = lengths[attributes[0]]
+        rows = [
+            tuple(columns[attribute][i] for attribute in attributes) for i in range(n_rows)
+        ]
+        return cls(attributes, rows, name=name)
+
+    @classmethod
+    def from_counter(
+        cls, attributes: Sequence[str], counts: Mapping[Row, int], name: str = ""
+    ) -> "Relation":
+        """Build a relation from a tuple -> multiplicity mapping."""
+        rows: List[Row] = []
+        for row, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative multiplicity {count} for row {row!r}")
+            rows.extend([tuple(row)] * count)
+        return cls(attributes, rows, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Ordered schema of the relation."""
+        return self._attributes
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attributes)
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of tuples ``|R|`` (counting multiplicity)."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        """Iterate over rows, including duplicates."""
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema and same tuple multiplicities."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._attributes == other._attributes and Counter(self._rows) == Counter(
+            other._rows
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = self.name or "Relation"
+        return f"<{label}: {self.num_rows} rows x {self.num_attributes} attributes>"
+
+    def rows(self) -> List[Row]:
+        """A copy of the underlying row list."""
+        return list(self._rows)
+
+    def records(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries keyed by attribute name."""
+        return [dict(zip(self._attributes, row)) for row in self._rows]
+
+    def column(self, attribute: str) -> List[object]:
+        """All values (with multiplicity) of a single attribute."""
+        index = self._attribute_index(attribute)
+        return [row[index] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Frequencies and active domains
+    # ------------------------------------------------------------------
+    def frequencies(self, attributes: Optional[Iterable[str] | str] = None) -> Counter:
+        """Multiplicity of each distinct tuple of ``attributes``.
+
+        With ``attributes=None`` the multiplicities of full tuples over the
+        whole schema are returned, i.e. the map ``w -> R(w)``.
+        """
+        key = (
+            self._attributes
+            if attributes is None
+            else validate_attributes(
+                canonical_attributes(attributes), self._attributes, "projection"
+            )
+        )
+        cached = self._frequency_cache.get(key)
+        if cached is not None:
+            return Counter(cached)
+        indices = self._attribute_indices(key)
+        counter: Counter = Counter(tuple(row[i] for i in indices) for row in self._rows)
+        self._frequency_cache[key] = Counter(counter)
+        return counter
+
+    def active_domain(self, attributes: Iterable[str] | str) -> set:
+        """``dom_R(attributes)``: the set of distinct projected tuples."""
+        return set(self.frequencies(attributes))
+
+    def distinct_count(self, attributes: Iterable[str] | str) -> int:
+        """``|dom_R(attributes)|``."""
+        return len(self.frequencies(attributes))
+
+    # ------------------------------------------------------------------
+    # Relational operations (bag semantics)
+    # ------------------------------------------------------------------
+    def project(self, attributes: Iterable[str] | str) -> "Relation":
+        """Bag projection ``π_attributes(R)`` (duplicates preserved)."""
+        key = validate_attributes(
+            canonical_attributes(attributes), self._attributes, "projection"
+        )
+        indices = self._attribute_indices(key)
+        rows = [tuple(row[i] for i in indices) for row in self._rows]
+        return Relation(key, rows, name=self.name)
+
+    def select_equal(self, attributes: Iterable[str] | str, values: Sequence[object]) -> "Relation":
+        """Bag selection ``σ_{attributes=values}(R)``."""
+        key = validate_attributes(
+            canonical_attributes(attributes), self._attributes, "selection"
+        )
+        target = tuple(values) if not isinstance(values, tuple) else values
+        if len(target) != len(key):
+            raise ValueError(
+                f"selection values {target!r} do not match attributes {key!r}"
+            )
+        indices = self._attribute_indices(key)
+        rows = [row for row in self._rows if tuple(row[i] for i in indices) == target]
+        return Relation(self._attributes, rows, name=self.name)
+
+    def drop_nulls(self, attributes: Optional[Iterable[str] | str] = None) -> "Relation":
+        """Subrelation of tuples with no NULL on any of ``attributes``.
+
+        This implements the NULL semantics of Section VI-A of the paper.
+        With ``attributes=None`` all attributes are required non-NULL.
+        """
+        key = (
+            self._attributes
+            if attributes is None
+            else validate_attributes(
+                canonical_attributes(attributes), self._attributes, "drop_nulls"
+            )
+        )
+        indices = self._attribute_indices(key)
+        rows = [
+            row for row in self._rows if not has_null(tuple(row[i] for i in indices))
+        ]
+        return Relation(self._attributes, rows, name=self.name)
+
+    def with_rows(self, rows: Iterable[Sequence[object]], name: Optional[str] = None) -> "Relation":
+        """A new relation over the same schema with different rows."""
+        return Relation(self._attributes, rows, name=self.name if name is None else name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (missing keys keep their name)."""
+        new_attributes = [mapping.get(attribute, attribute) for attribute in self._attributes]
+        return Relation(new_attributes, self._rows, name=self.name)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Bag union (row concatenation) of two relations over the same schema."""
+        if self._attributes != other._attributes:
+            raise ValueError(
+                f"cannot concatenate relations with different schemas: "
+                f"{self._attributes} vs {other._attributes}"
+            )
+        return Relation(self._attributes, self._rows + other._rows, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Functional dependencies
+    # ------------------------------------------------------------------
+    def satisfies(self, fd: FunctionalDependency, ignore_nulls: bool = True) -> bool:
+        """Check whether the relation satisfies ``fd``.
+
+        With ``ignore_nulls=True`` (the paper's convention) tuples with a
+        NULL in ``lhs ∪ rhs`` are ignored.
+        """
+        validate_attributes(fd.lhs, self._attributes, "FD LHS")
+        validate_attributes(fd.rhs, self._attributes, "FD RHS")
+        relation = self.drop_nulls(fd.attributes) if ignore_nulls else self
+        lhs_indices = relation._attribute_indices(fd.lhs)
+        rhs_indices = relation._attribute_indices(fd.rhs)
+        seen: Dict[Row, Row] = {}
+        for row in relation._rows:
+            lhs_value = tuple(row[i] for i in lhs_indices)
+            rhs_value = tuple(row[i] for i in rhs_indices)
+            previous = seen.get(lhs_value)
+            if previous is None:
+                seen[lhs_value] = rhs_value
+            elif previous != rhs_value:
+                return False
+        return True
+
+    def violations(self, fd: FunctionalDependency, ignore_nulls: bool = True) -> List[Row]:
+        """All rows that participate in at least one violating pair for ``fd``.
+
+        This is the tuple set ``G2(X -> Y, R)`` of the paper.
+        """
+        validate_attributes(fd.lhs, self._attributes, "FD LHS")
+        validate_attributes(fd.rhs, self._attributes, "FD RHS")
+        relation = self.drop_nulls(fd.attributes) if ignore_nulls else self
+        lhs_indices = relation._attribute_indices(fd.lhs)
+        rhs_indices = relation._attribute_indices(fd.rhs)
+        rhs_values_per_group: Dict[Row, set] = {}
+        for row in relation._rows:
+            lhs_value = tuple(row[i] for i in lhs_indices)
+            rhs_value = tuple(row[i] for i in rhs_indices)
+            rhs_values_per_group.setdefault(lhs_value, set()).add(rhs_value)
+        violating_groups = {
+            lhs_value
+            for lhs_value, rhs_values in rhs_values_per_group.items()
+            if len(rhs_values) > 1
+        }
+        return [
+            row
+            for row in relation._rows
+            if tuple(row[i] for i in lhs_indices) in violating_groups
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _attribute_index(self, attribute: str) -> int:
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"unknown attribute {attribute!r}; available: {list(self._attributes)}"
+            ) from None
+
+    def _attribute_indices(self, attributes: Sequence[str]) -> Tuple[int, ...]:
+        cached = self._index_cache.get(tuple(attributes))
+        if cached is not None:
+            return cached
+        indices = tuple(self._attribute_index(attribute) for attribute in attributes)
+        self._index_cache[tuple(attributes)] = indices
+        return indices

@@ -1,0 +1,25 @@
+"""The real-world benchmark RWD (Section VI of the paper).
+
+The original benchmark consists of 10 public relations with manually
+annotated design schemas.  Without network access, this subpackage builds
+*synthetic stand-ins*: generators that reproduce each relation's shape
+(attribute structure, value skew, NULLs, near-unique columns) and plant a
+design schema with the same number of perfect and approximate design FDs
+as reported in Table II.  See DESIGN.md, "Substitutions".
+"""
+
+from repro.rwd.schema import DesignSchema, RwdRelation
+from repro.rwd.benchmark import RwdBenchmark, build_rwd_benchmark, overview_table
+from repro.rwd.annotate import enumerate_inspection_candidates
+from repro.rwd.datasets import DATASET_BUILDERS, build_dataset
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "DesignSchema",
+    "RwdBenchmark",
+    "RwdRelation",
+    "build_dataset",
+    "build_rwd_benchmark",
+    "enumerate_inspection_candidates",
+    "overview_table",
+]

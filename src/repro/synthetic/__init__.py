@@ -1,0 +1,42 @@
+"""Synthetic data generation for the sensitivity analysis (Section V).
+
+Provides the Beta-distribution value sampler, the B+/B- relation
+generation process, the controlled error channel, and builders for the
+three synthetic benchmarks ERR, UNIQ and SKEW.
+"""
+
+from repro.synthetic.beta import (
+    beta_parameters_for_skewness,
+    beta_skewness,
+    sample_beta_parameters,
+    sample_domain_values,
+)
+from repro.synthetic.generator import (
+    GenerationParameters,
+    generate_negative_relation,
+    generate_positive_relation,
+    sample_parameters,
+)
+from repro.synthetic.benchmarks import (
+    BenchmarkTable,
+    SyntheticBenchmark,
+    build_err_benchmark,
+    build_skew_benchmark,
+    build_uniq_benchmark,
+)
+
+__all__ = [
+    "BenchmarkTable",
+    "GenerationParameters",
+    "SyntheticBenchmark",
+    "beta_parameters_for_skewness",
+    "beta_skewness",
+    "build_err_benchmark",
+    "build_skew_benchmark",
+    "build_uniq_benchmark",
+    "generate_negative_relation",
+    "generate_positive_relation",
+    "sample_beta_parameters",
+    "sample_domain_values",
+    "sample_parameters",
+]

@@ -1,0 +1,167 @@
+"""The three synthetic sensitivity benchmarks ERR, UNIQ and SKEW.
+
+Each benchmark consists of B+ tables (generated with the planted FD
+``X -> Y`` followed by the error channel) and B- tables (X and Y sampled
+independently), organised in *steps*: per step one controlled parameter —
+the error rate, the LHS-uniqueness, or the RHS-skew — is fixed while the
+other generation parameters are drawn at random (Section V-A).
+
+The paper uses 50 steps x 50 tables per subset; the builders accept both
+values as parameters so laptop-scale runs can use smaller grids while the
+full-paper configuration remains one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+from repro.synthetic.beta import beta_parameters_for_skewness
+from repro.synthetic.generator import (
+    SYNTHETIC_FD,
+    GenerationParameters,
+    generate_negative_relation,
+    generate_positive_relation,
+    sample_parameters,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkTable:
+    """One synthetic relation together with its generation metadata."""
+
+    relation: Relation
+    positive: bool
+    step: int
+    parameter_value: float
+    parameters: GenerationParameters
+
+
+@dataclass
+class SyntheticBenchmark:
+    """A full synthetic benchmark (ERR, UNIQ or SKEW)."""
+
+    name: str
+    parameter_name: str
+    fd: FunctionalDependency
+    tables: List[BenchmarkTable]
+
+    def positive_tables(self) -> List[BenchmarkTable]:
+        return [table for table in self.tables if table.positive]
+
+    def negative_tables(self) -> List[BenchmarkTable]:
+        return [table for table in self.tables if not table.positive]
+
+    def steps(self) -> List[int]:
+        return sorted({table.step for table in self.tables})
+
+    def parameter_values(self) -> Dict[int, float]:
+        """Controlled parameter value per step."""
+        return {table.step: table.parameter_value for table in self.tables}
+
+    def tables_at_step(self, step: int, positive: Optional[bool] = None) -> List[BenchmarkTable]:
+        return [
+            table
+            for table in self.tables
+            if table.step == step and (positive is None or table.positive == positive)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+def _build_benchmark(
+    name: str,
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    adjust: Callable[[GenerationParameters, float], GenerationParameters],
+    tables_per_step: int,
+    rng: np.random.Generator,
+    min_rows: int,
+    max_rows: int,
+) -> SyntheticBenchmark:
+    """Shared builder: per step, generate positive and negative tables."""
+    tables: List[BenchmarkTable] = []
+    for step, value in enumerate(parameter_values):
+        for index in range(tables_per_step):
+            base = sample_parameters(rng, min_rows=min_rows, max_rows=max_rows)
+            parameters = adjust(base, value)
+            positive = generate_positive_relation(
+                parameters, rng, name=f"{name}+[step={step},i={index}]"
+            )
+            tables.append(BenchmarkTable(positive, True, step, value, parameters))
+            base_negative = sample_parameters(rng, min_rows=min_rows, max_rows=max_rows)
+            parameters_negative = adjust(base_negative, value)
+            negative = generate_negative_relation(
+                parameters_negative, rng, name=f"{name}-[step={step},i={index}]"
+            )
+            tables.append(BenchmarkTable(negative, False, step, value, parameters_negative))
+    return SyntheticBenchmark(name, parameter_name, SYNTHETIC_FD, tables)
+
+
+def build_err_benchmark(
+    steps: int = 50,
+    tables_per_step: int = 50,
+    rng: Optional[np.random.Generator] = None,
+    min_rows: int = 100,
+    max_rows: int = 10_000,
+    max_error_rate: float = 0.10,
+) -> SyntheticBenchmark:
+    """The ERR benchmark: error rate swept from 0 to ``max_error_rate``."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    values = list(np.linspace(0.0, max_error_rate, steps))
+
+    def adjust(parameters: GenerationParameters, error_rate: float) -> GenerationParameters:
+        return parameters.with_error_rate(error_rate)
+
+    return _build_benchmark(
+        "ERR", "error_rate", values, adjust, tables_per_step, rng, min_rows, max_rows
+    )
+
+
+def build_uniq_benchmark(
+    steps: int = 50,
+    tables_per_step: int = 50,
+    rng: Optional[np.random.Generator] = None,
+    min_rows: int = 100,
+    max_rows: int = 10_000,
+    min_uniqueness: float = 0.2,
+    max_uniqueness: float = 0.9,
+) -> SyntheticBenchmark:
+    """The UNIQ benchmark: LHS-uniqueness (``|dom(X)| / |R|``) swept upward."""
+    rng = rng if rng is not None else np.random.default_rng(1)
+    values = list(np.linspace(min_uniqueness, max_uniqueness, steps))
+
+    def adjust(parameters: GenerationParameters, uniqueness: float) -> GenerationParameters:
+        domain_x = max(2, int(round(uniqueness * parameters.num_rows)))
+        domain_y = min(parameters.domain_y_size, max(5, domain_x // 2))
+        return replace(parameters, domain_x_size=domain_x, domain_y_size=max(domain_y, 2))
+
+    return _build_benchmark(
+        "UNIQ", "lhs_uniqueness", values, adjust, tables_per_step, rng, min_rows, max_rows
+    )
+
+
+def build_skew_benchmark(
+    steps: int = 50,
+    tables_per_step: int = 50,
+    rng: Optional[np.random.Generator] = None,
+    min_rows: int = 100,
+    max_rows: int = 10_000,
+    max_skew: float = 10.0,
+) -> SyntheticBenchmark:
+    """The SKEW benchmark: RHS-skew (skewness of the Y Beta distribution) swept up to 10."""
+    rng = rng if rng is not None else np.random.default_rng(2)
+    values = list(np.linspace(0.0, max_skew, steps))
+
+    def adjust(parameters: GenerationParameters, skew: float) -> GenerationParameters:
+        alpha_y, beta_y = beta_parameters_for_skewness(skew)
+        return replace(parameters, alpha_y=alpha_y, beta_y=beta_y)
+
+    return _build_benchmark(
+        "SKEW", "rhs_skew", values, adjust, tables_per_step, rng, min_rows, max_rows
+    )

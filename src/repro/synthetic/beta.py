@@ -1,0 +1,103 @@
+"""Beta-distribution based value sampling.
+
+The synthetic generation process of Section V-A draws attribute values
+according to a Beta distribution ``B(α, β)`` on ``[0, 1]`` which is then
+discretised onto the attribute's active domain.  The skewness of
+``B(α, β)`` is
+
+    skew(α, β) = 2 (β - α) sqrt(α + β + 1) / ((α + β + 2) sqrt(α β))
+
+and the paper samples ``α ∈ (0, 1]``, ``β ∈ [1, 10]`` such that the
+skewness is at most one — except for the SKEW benchmark, which sweeps the
+skewness up to 10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def beta_skewness(alpha: float, beta: float) -> float:
+    """Skewness of the Beta(α, β) distribution."""
+    if alpha <= 0 or beta <= 0:
+        raise ValueError(f"Beta parameters must be positive, got alpha={alpha}, beta={beta}")
+    return (
+        2.0
+        * (beta - alpha)
+        * math.sqrt(alpha + beta + 1.0)
+        / ((alpha + beta + 2.0) * math.sqrt(alpha * beta))
+    )
+
+
+def beta_parameters_for_skewness(
+    target_skew: float, beta: float = 10.0, tolerance: float = 1e-6
+) -> Tuple[float, float]:
+    """Find ``(α, β)`` with the requested (non-negative) skewness.
+
+    Keeps ``β`` fixed and bisects on ``α``: for fixed ``β``, the skewness is
+    strictly decreasing in ``α`` and ranges from +∞ (``α -> 0``) down to a
+    negative value at ``α = β``... so any ``target_skew >= 0`` is reachable.
+    ``target_skew = 0`` returns the uniform distribution ``(1, 1)``.
+    """
+    if target_skew < 0:
+        raise ValueError(f"target skewness must be non-negative, got {target_skew}")
+    if target_skew == 0:
+        return 1.0, 1.0
+    low, high = 1e-9, beta
+    # beta_skewness(high, beta) = 0 <= target, beta_skewness(low, beta) -> inf.
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        skew = beta_skewness(mid, beta)
+        if abs(skew - target_skew) <= tolerance:
+            return mid, beta
+        if skew > target_skew:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high), beta
+
+
+def sample_beta_parameters(
+    rng: np.random.Generator, max_skew: float = 1.0
+) -> Tuple[float, float]:
+    """Sample ``α ∈ (0, 1]``, ``β ∈ [1, 10]`` with skewness at most ``max_skew``.
+
+    Rejection sampling as in the paper's generation process.
+    """
+    for _ in range(10_000):
+        alpha = float(rng.uniform(0.0, 1.0))
+        if alpha <= 0.0:
+            continue
+        beta = float(rng.uniform(1.0, 10.0))
+        if beta_skewness(alpha, beta) <= max_skew:
+            return alpha, beta
+    raise RuntimeError(
+        f"could not sample Beta parameters with skewness <= {max_skew} "
+        "after 10000 attempts"
+    )
+
+
+def sample_domain_values(
+    rng: np.random.Generator,
+    domain_size: int,
+    count: int,
+    alpha: float,
+    beta: float,
+) -> np.ndarray:
+    """Draw ``count`` values from a domain of ``domain_size`` items via Beta(α, β).
+
+    A draw ``u ~ B(α, β)`` is mapped to the domain index ``floor(u * domain_size)``
+    (clipped to the last index), so small ``α`` / large ``β`` concentrate the
+    mass near the first domain items, producing a right-skewed value
+    distribution.
+    """
+    if domain_size <= 0:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    draws = rng.beta(alpha, beta, size=count)
+    indices = np.minimum((draws * domain_size).astype(int), domain_size - 1)
+    return indices

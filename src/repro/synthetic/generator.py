@@ -1,0 +1,158 @@
+"""The B+/B- relation generation process of Section V-A.
+
+Relations are generated over the two attributes ``X`` and ``Y``:
+
+* **Negative relations (B-)** sample ``X`` and ``Y`` values independently at
+  random (Beta-distributed over their active domains) — the FD ``X -> Y``
+  is *not* part of the design schema.
+* **Positive relations (B+)** first build a dictionary ``D: dom(X) -> dom(Y)``
+  and populate the relation with tuples ``(x, D(x))``, so that ``X -> Y``
+  holds by construction, and then pass the relation through a controlled
+  error channel that rewrites ``⌊η |R|⌋`` Y-values by copying the Y-value
+  of another tuple (keeping ``dom_R(Y)`` and the X-marginal unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+from repro.synthetic.beta import sample_beta_parameters, sample_domain_values
+
+#: The FD all synthetic benchmarks are generated for.
+SYNTHETIC_FD = FunctionalDependency("X", "Y")
+
+
+@dataclass(frozen=True)
+class GenerationParameters:
+    """Parameters of the synthetic generation process (Section V-A)."""
+
+    num_rows: int
+    domain_x_size: int
+    domain_y_size: int
+    alpha_x: float
+    beta_x: float
+    alpha_y: float
+    beta_y: float
+    error_rate: float
+
+    def __post_init__(self):
+        if self.num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {self.num_rows}")
+        if self.domain_x_size <= 0 or self.domain_y_size <= 0:
+            raise ValueError("domain sizes must be positive")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate}")
+
+    def with_error_rate(self, error_rate: float) -> "GenerationParameters":
+        return replace(self, error_rate=error_rate)
+
+
+def sample_parameters(
+    rng: np.random.Generator,
+    min_rows: int = 100,
+    max_rows: int = 10_000,
+    min_error_rate: float = 0.005,
+    max_error_rate: float = 0.02,
+    max_skew: float = 1.0,
+) -> GenerationParameters:
+    """Sample generation parameters uniformly from the paper's ranges.
+
+    ``|R| ∈ [100, 10000]``, ``|dom(X)| ∈ [|R|/5, 3|R|/4]``,
+    ``|dom(Y)| ∈ [5, |dom(X)|/2]``, ``η ∈ [0.5%, 2%]``; the Beta parameters
+    are sampled with skewness at most ``max_skew``.
+    The row range may be narrowed for laptop-scale experiment runs.
+    """
+    num_rows = int(rng.integers(min_rows, max_rows + 1))
+    domain_x = int(rng.integers(max(2, num_rows // 5), max(3, (3 * num_rows) // 4 + 1)))
+    domain_y_upper = max(6, domain_x // 2 + 1)
+    domain_y = int(rng.integers(5, domain_y_upper))
+    alpha_x, beta_x = sample_beta_parameters(rng, max_skew=max_skew)
+    alpha_y, beta_y = sample_beta_parameters(rng, max_skew=max_skew)
+    error_rate = float(rng.uniform(min_error_rate, max_error_rate))
+    return GenerationParameters(
+        num_rows=num_rows,
+        domain_x_size=domain_x,
+        domain_y_size=domain_y,
+        alpha_x=alpha_x,
+        beta_x=beta_x,
+        alpha_y=alpha_y,
+        beta_y=beta_y,
+        error_rate=error_rate,
+    )
+
+
+def generate_negative_relation(
+    parameters: GenerationParameters, rng: np.random.Generator, name: str = "synthetic-"
+) -> Relation:
+    """Generate a B- relation: X and Y sampled independently at random."""
+    x_values = sample_domain_values(
+        rng, parameters.domain_x_size, parameters.num_rows, parameters.alpha_x, parameters.beta_x
+    )
+    y_values = sample_domain_values(
+        rng, parameters.domain_y_size, parameters.num_rows, parameters.alpha_y, parameters.beta_y
+    )
+    rows = [(int(x), int(y)) for x, y in zip(x_values, y_values)]
+    return Relation(["X", "Y"], rows, name=name)
+
+
+def generate_positive_relation(
+    parameters: GenerationParameters, rng: np.random.Generator, name: str = "synthetic+"
+) -> Relation:
+    """Generate a B+ relation: planted FD ``X -> Y`` plus a controlled error channel."""
+    dictionary = sample_domain_values(
+        rng,
+        parameters.domain_y_size,
+        parameters.domain_x_size,
+        parameters.alpha_y,
+        parameters.beta_y,
+    )
+    x_values = sample_domain_values(
+        rng, parameters.domain_x_size, parameters.num_rows, parameters.alpha_x, parameters.beta_x
+    )
+    y_values = dictionary[x_values]
+    rows = [(int(x), int(y)) for x, y in zip(x_values, y_values)]
+    clean = Relation(["X", "Y"], rows, name=name)
+    return apply_copy_error_channel(clean, parameters.error_rate, rng)
+
+
+def apply_copy_error_channel(
+    relation: Relation,
+    error_rate: float,
+    rng: np.random.Generator,
+    rhs_attribute: str = "Y",
+) -> Relation:
+    """The controlled error channel of Section V-A.
+
+    Rewrites ``k = ⌊η |R|⌋`` Y-values: for each selected tuple ``w``, pick a
+    random tuple ``w̃`` with a different Y-value and copy its Y-value into
+    ``w``.  No new Y-values are introduced, ``dom_R(Y)`` stays stable and
+    the X column is untouched (``p_{R'}(X) = p_R(X)``).
+    """
+    rows = relation.rows()
+    num_rows = len(rows)
+    errors = int(error_rate * num_rows)
+    if errors == 0 or num_rows < 2:
+        return relation.with_rows(rows)
+    rhs_index = relation.attributes.index(rhs_attribute)
+    distinct_rhs = {row[rhs_index] for row in rows}
+    if len(distinct_rhs) < 2:
+        # Every tuple has the same Y-value; no violation can be introduced.
+        return relation.with_rows(rows)
+    target_positions = rng.choice(num_rows, size=min(errors, num_rows), replace=False)
+    for position in target_positions:
+        current = rows[position][rhs_index]
+        # Draw donor tuples until one with a different Y-value is found.
+        for _ in range(10 * num_rows):
+            donor = int(rng.integers(0, num_rows))
+            donor_value = rows[donor][rhs_index]
+            if donor_value != current:
+                row = list(rows[position])
+                row[rhs_index] = donor_value
+                rows[position] = tuple(row)
+                break
+    return relation.with_rows(rows)
