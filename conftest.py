@@ -1,0 +1,15 @@
+"""Repository-root pytest bootstrap.
+
+Makes ``python -m pytest`` work from a bare checkout without installing
+the package or exporting ``PYTHONPATH``: the src-layout package directory
+is put on ``sys.path`` before test collection.  (``pyproject.toml`` sets
+``tool.pytest.ini_options.pythonpath`` for pytest >= 7; this file covers
+older pytest and direct ``python -m pytest`` invocations uniformly.)
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -27,6 +27,8 @@ Quickstart::
     print(get_measure("mu_plus").score(relation, fd))
 """
 
+import importlib
+
 from repro.core import (
     AfdMeasure,
     FdStatistics,
@@ -41,6 +43,17 @@ from repro.relation import FunctionalDependency, Relation, StrippedPartition
 
 __version__ = "1.0.0"
 
+#: Subpackages (and their headline callables) exposed lazily: importing
+#: ``repro`` stays cheap while ``repro.evaluation`` / ``repro.discovery``
+#: / ``repro.experiments`` remain reachable as plain attributes.
+_LAZY_SUBMODULES = ("discovery", "errors", "evaluation", "experiments", "rwd", "synthetic")
+_LAZY_ATTRIBUTES = {
+    "discover_afds": "repro.discovery",
+    "evaluate_benchmark": "repro.evaluation",
+    "evaluate_specs": "repro.evaluation",
+    "benchmark_specs": "repro.synthetic",
+}
+
 __all__ = [
     "AfdMeasure",
     "FdStatistics",
@@ -49,9 +62,26 @@ __all__ = [
     "Relation",
     "StrippedPartition",
     "all_measures",
+    "benchmark_specs",
     "default_measures",
+    "discover_afds",
+    "evaluate_benchmark",
+    "evaluate_specs",
     "get_measure",
     "measure_names",
     "measures_by_class",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f"repro.{name}")
+    if name in _LAZY_ATTRIBUTES:
+        module = importlib.import_module(_LAZY_ATTRIBUTES[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_SUBMODULES) | set(_LAZY_ATTRIBUTES))

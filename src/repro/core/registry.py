@@ -7,7 +7,7 @@ iterate over "all measures" consistently.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.base import AfdMeasure, MeasureClass
 from repro.core.logical import (
@@ -63,6 +63,46 @@ PAPER_LABELS = {
 }
 
 
+#: Zero-argument factories of measures registered beyond the paper's
+#: fourteen (extension hook used by the evaluation harness).
+_EXTRA_MEASURES: Dict[str, Callable[[], AfdMeasure]] = {}
+
+
+def register_measure(
+    name: str, factory: Callable[[], AfdMeasure], overwrite: bool = False
+) -> None:
+    """Register an additional measure under ``name``.
+
+    ``factory`` is a zero-argument callable returning a fresh
+    :class:`AfdMeasure`.  Registered measures are appended (in registration
+    order) to everything that iterates over "all measures":
+    :func:`all_measures`, :func:`iter_measures` and therefore the
+    evaluation harness and the experiment drivers.  The fourteen canonical
+    names cannot be overridden.
+    """
+    if name in MEASURE_ORDER:
+        raise ValueError(f"cannot override the canonical measure {name!r}")
+    if name in _EXTRA_MEASURES and not overwrite:
+        raise ValueError(f"measure {name!r} is already registered (use overwrite=True)")
+    _EXTRA_MEASURES[name] = factory
+
+
+def unregister_measure(name: str) -> None:
+    """Remove a previously registered extra measure (no-op if absent)."""
+    _EXTRA_MEASURES.pop(name, None)
+
+
+def iter_measures(**kwargs) -> Iterator[Tuple[str, AfdMeasure]]:
+    """Iterate over ``(name, measure)`` pairs in canonical order, extras last.
+
+    This is the iteration hook the evaluation harness drives (via
+    ``MeasureConfig.build``): scoring code never hard-codes the measure
+    list, so measures added with :func:`register_measure` are evaluated
+    alongside the paper's fourteen.
+    """
+    yield from all_measures(**kwargs).items()
+
+
 def all_measures(
     expectation: str = "exact",
     mc_samples: int = 200,
@@ -72,7 +112,8 @@ def all_measures(
     """Fresh instances of all fourteen measures, keyed by name.
 
     ``expectation`` selects the permutation-expectation strategy used by
-    RFI+ and RFI'+ (``"exact"`` or ``"monte-carlo"``).
+    RFI+ and RFI'+ (``"exact"`` or ``"monte-carlo"``).  Measures added via
+    :func:`register_measure` are appended after the canonical fourteen.
     """
     measures: List[AfdMeasure] = [
         RhoMeasure(),
@@ -100,6 +141,8 @@ def all_measures(
             # SFI renames itself when a non-default alpha is requested
             # (e.g. "sfi_1"); keep the customised name as the key.
             result[sfi.name] = sfi
+    for name, factory in _EXTRA_MEASURES.items():
+        result[name] = factory()
     return result
 
 

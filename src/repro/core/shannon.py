@@ -88,11 +88,20 @@ class _PermutationCorrectedMeasure(AfdMeasure):
         if h_y <= 0.0:
             return 1.0, 1.0
         fi = 1.0 - statistics.shannon_conditional_entropy() / h_y
-        rng = None if self.seed is None else np.random.default_rng(self.seed)
-        expected_fi = expected_fraction_of_information(
-            statistics, method=self.expectation, samples=self.samples, rng=rng
-        )
-        return fi, expected_fi
+
+        # The permutation expectation dominates the cost of RFI+/RFI'+ and
+        # is identical for both (it only depends on the marginals and the
+        # expectation configuration), so it is cached on the shared
+        # statistics object.  The Monte-Carlo estimator reseeds per call,
+        # which keeps the cached value deterministic.
+        def compute() -> float:
+            rng = None if self.seed is None else np.random.default_rng(self.seed)
+            return expected_fraction_of_information(
+                statistics, method=self.expectation, samples=self.samples, rng=rng
+            )
+
+        key = f"E_fi_{self.expectation}_{self.samples}_{self.seed}"
+        return fi, statistics._cached(key, compute)
 
 
 class RfiPlusMeasure(_PermutationCorrectedMeasure):

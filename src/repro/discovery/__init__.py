@@ -1,0 +1,19 @@
+"""Measure-based AFD discovery (single-attribute LHS).
+
+Exhaustive linear-candidate search with partition-refinement pruning and
+shared sufficient statistics; the discovery counterpart of the paper's
+"measures as discovery criteria" discussion (Section VII).  Multi-attribute
+LHS search over the candidate lattice is a roadmap item.
+"""
+
+from repro.discovery.single import (
+    CandidateScore,
+    DiscoveryResult,
+    discover_afds,
+)
+
+__all__ = [
+    "CandidateScore",
+    "DiscoveryResult",
+    "discover_afds",
+]

@@ -1,0 +1,161 @@
+"""Measure-based AFD discovery with single-attribute LHS.
+
+Exhaustive search over all linear candidates ``A -> B`` of a relation:
+every candidate is scored by every requested measure on one shared
+:class:`FdStatistics` object, and accepted when its score reaches the
+(per-measure) threshold.
+
+Two layers of reuse keep the quadratic candidate space cheap:
+
+* one :class:`StrippedPartition` per attribute, computed once and shared
+  by all candidates touching that attribute — partition refinement
+  (``π_A`` refines ``π_B`` iff ``A -> B`` holds exactly) prunes exactly
+  satisfied candidates before any statistics are computed, since every
+  measure scores them 1 by convention;
+* one :class:`FdStatistics` per surviving candidate, shared across all
+  measures (the same discipline as the evaluation harness).
+
+The partition shortcut is only applied to NULL-free attribute pairs:
+partitions treat NULL as an ordinary value while the paper's semantics
+(Section VI-A) drop NULL tuples, so candidates with NULLs fall through to
+the statistics path, whose ``satisfied`` check uses the paper semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.base import AfdMeasure
+from repro.core.registry import all_measures
+from repro.core.statistics import FdStatistics
+from repro.relation.fd import FunctionalDependency
+from repro.relation.nulls import is_null
+from repro.relation.partition import StrippedPartition
+from repro.relation.relation import Relation
+
+Thresholds = Union[float, Mapping[str, float]]
+
+
+@dataclass
+class CandidateScore:
+    """One linear candidate FD with its scores under all measures."""
+
+    fd: FunctionalDependency
+    scores: Dict[str, float]
+    exact: bool
+
+    def accepted_by(self, measure: str, threshold: float) -> bool:
+        return self.scores[measure] >= threshold
+
+
+@dataclass
+class DiscoveryResult:
+    """All scored candidates of one relation plus the acceptance view."""
+
+    relation_name: str
+    measure_names: List[str]
+    thresholds: Dict[str, float]
+    candidates: List[CandidateScore] = field(default_factory=list)
+    pruned_exact: int = 0
+
+    def accepted(self, measure: str) -> List[CandidateScore]:
+        """Candidates meeting the measure's threshold, best score first."""
+        threshold = self.thresholds[measure]
+        hits = [c for c in self.candidates if c.accepted_by(measure, threshold)]
+        return sorted(hits, key=lambda c: -c.scores[measure])
+
+    def accepted_fds(self, measure: str) -> List[FunctionalDependency]:
+        return [candidate.fd for candidate in self.accepted(measure)]
+
+    def exact_fds(self) -> List[FunctionalDependency]:
+        return [candidate.fd for candidate in self.candidates if candidate.exact]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class _PartitionCache:
+    """Per-attribute stripped partitions plus NULL flags, computed lazily."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+        self._partitions: Dict[str, StrippedPartition] = {}
+        self._has_nulls: Dict[str, bool] = {}
+
+    def partition(self, attribute: str) -> StrippedPartition:
+        cached = self._partitions.get(attribute)
+        if cached is None:
+            cached = StrippedPartition.from_relation(self._relation, attribute)
+            self._partitions[attribute] = cached
+        return cached
+
+    def has_nulls(self, attribute: str) -> bool:
+        cached = self._has_nulls.get(attribute)
+        if cached is None:
+            cached = any(is_null(value) for value in self._relation.column(attribute))
+            self._has_nulls[attribute] = cached
+        return cached
+
+    def exactly_satisfied(self, lhs: str, rhs: str) -> Optional[bool]:
+        """Partition-refinement check; ``None`` when NULLs make it unsound."""
+        if self.has_nulls(lhs) or self.has_nulls(rhs):
+            return None
+        return self.partition(lhs).refines(self.partition(rhs))
+
+
+def _resolve_thresholds(
+    threshold: Thresholds, measure_names: Sequence[str]
+) -> Dict[str, float]:
+    if isinstance(threshold, Mapping):
+        missing = [name for name in measure_names if name not in threshold]
+        if missing:
+            raise KeyError(f"no threshold given for measures {missing}")
+        return {name: float(threshold[name]) for name in measure_names}
+    return {name: float(threshold) for name in measure_names}
+
+
+def discover_afds(
+    relation: Relation,
+    measures: Optional[Mapping[str, AfdMeasure]] = None,
+    threshold: Thresholds = 0.9,
+    lhs_attributes: Optional[Sequence[str]] = None,
+    rhs_attributes: Optional[Sequence[str]] = None,
+) -> DiscoveryResult:
+    """Exhaustively score all single-LHS candidates of ``relation``.
+
+    ``threshold`` is either one global acceptance level or a per-measure
+    mapping.  ``lhs_attributes`` / ``rhs_attributes`` restrict the
+    candidate grid (defaults: every attribute on both sides).
+    """
+    measures = measures if measures is not None else all_measures()
+    measure_names = list(measures)
+    thresholds = _resolve_thresholds(threshold, measure_names)
+    lhs_pool = list(lhs_attributes) if lhs_attributes is not None else list(relation.attributes)
+    rhs_pool = list(rhs_attributes) if rhs_attributes is not None else list(relation.attributes)
+    cache = _PartitionCache(relation)
+    result = DiscoveryResult(
+        relation_name=relation.name, measure_names=measure_names, thresholds=thresholds
+    )
+    for lhs in lhs_pool:
+        for rhs in rhs_pool:
+            if lhs == rhs:
+                continue
+            fd = FunctionalDependency(lhs, rhs)
+            exact = cache.exactly_satisfied(lhs, rhs)
+            if exact:
+                # Every measure scores a satisfied FD 1.0 by convention —
+                # skip the statistics computation entirely.
+                result.pruned_exact += 1
+                scores = {name: 1.0 for name in measure_names}
+                result.candidates.append(CandidateScore(fd, scores, exact=True))
+                continue
+            statistics = FdStatistics.compute(relation, fd)
+            scores = {
+                name: measure.score_from_statistics(statistics)
+                for name, measure in measures.items()
+            }
+            result.candidates.append(
+                CandidateScore(fd, scores, exact=statistics.satisfied or statistics.is_empty)
+            )
+    return result

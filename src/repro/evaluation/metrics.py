@@ -1,0 +1,124 @@
+"""Ranking metrics for the comparative evaluation (Section VI-B).
+
+The paper compares measures by how well their scores *rank* the true
+approximate FDs above the non-FDs: the area under the precision–recall
+curve (PR-AUC), the rank at which maximum recall is reached, and the
+score separation between positives and negatives.  Everything here is
+computed from plain Python lists — no scikit-learn dependency.
+
+Tie handling: candidates with equal scores are processed as one block
+(the curve only gains a point after a whole block), so the metrics are
+invariant to the order in which tied candidates happen to be listed.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import groupby
+from typing import List, Sequence, Tuple
+
+
+def _ranked_blocks(
+    labels: Sequence[int], scores: Sequence[float]
+) -> List[Tuple[int, int]]:
+    """``(positives, total)`` per block of tied scores, best score first."""
+    if len(labels) != len(scores):
+        raise ValueError(
+            f"labels and scores must have the same length, got {len(labels)} vs {len(scores)}"
+        )
+    pairs = sorted(zip(scores, labels), key=lambda pair: -pair[0])
+    blocks: List[Tuple[int, int]] = []
+    for _score, group in groupby(pairs, key=lambda pair: pair[0]):
+        members = list(group)
+        blocks.append((sum(label for _s, label in members), len(members)))
+    return blocks
+
+
+def precision_recall_points(
+    labels: Sequence[int], scores: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """The ``(recall, precision)`` points of the ranking, anchored at recall 0.
+
+    Points are emitted after every block of tied scores; the anchor at
+    recall 0 repeats the first block's precision so the curve starts at
+    the left edge (the usual convention for trapezoidal PR-AUC).
+    """
+    blocks = _ranked_blocks(labels, scores)
+    total_positives = sum(positives for positives, _total in blocks)
+    if total_positives == 0:
+        raise ValueError("precision-recall is undefined without positive labels")
+    points: List[Tuple[float, float]] = []
+    true_positives = 0
+    retrieved = 0
+    for positives, total in blocks:
+        true_positives += positives
+        retrieved += total
+        points.append((true_positives / total_positives, true_positives / retrieved))
+    anchor = (0.0, points[0][1])
+    return [anchor] + points
+
+
+def pr_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Trapezoidal area under the precision–recall curve.
+
+    A perfect ranking scores 1.0; a constant score (one tied block)
+    degenerates to the positive prevalence.
+    """
+    points = precision_recall_points(labels, scores)
+    area = 0.0
+    for (recall_a, precision_a), (recall_b, precision_b) in zip(points, points[1:]):
+        area += (recall_b - recall_a) * 0.5 * (precision_a + precision_b)
+    return area
+
+
+def rank_at_max_recall(labels: Sequence[int], scores: Sequence[float]) -> int:
+    """Number of top-ranked candidates needed to retrieve every positive.
+
+    Ties are counted pessimistically: every candidate scoring at least as
+    high as the worst-scoring positive must be inspected.  A perfect
+    measure achieves ``rank == number of positives``.
+    """
+    blocks = _ranked_blocks(labels, scores)
+    total_positives = sum(positives for positives, _total in blocks)
+    if total_positives == 0:
+        raise ValueError("rank at max recall is undefined without positive labels")
+    true_positives = 0
+    retrieved = 0
+    for positives, total in blocks:
+        true_positives += positives
+        retrieved += total
+        if true_positives == total_positives:
+            return retrieved
+    raise AssertionError("unreachable: all positives retrieved after the final block")
+
+
+def normalized_rank_at_max_recall(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """``rank_at_max_recall`` scaled to ``(0, 1]`` by the candidate count."""
+    if not labels:
+        raise ValueError("rank at max recall is undefined for an empty ranking")
+    return rank_at_max_recall(labels, scores) / len(labels)
+
+
+def separation(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Worst positive score minus best negative score.
+
+    Positive iff a single threshold separates the classes perfectly; the
+    magnitude is the width of the usable threshold corridor.
+    """
+    positive_scores = [score for label, score in zip(labels, scores) if label]
+    negative_scores = [score for label, score in zip(labels, scores) if not label]
+    if not positive_scores or not negative_scores:
+        raise ValueError("separation needs at least one positive and one negative")
+    return min(positive_scores) - max(negative_scores)
+
+
+def runtime_stats(durations: Sequence[float]) -> dict:
+    """Mean / total / max wall-clock seconds of a measure over a benchmark."""
+    if not durations:
+        return {"total_seconds": 0.0, "mean_seconds": 0.0, "max_seconds": 0.0}
+    total = math.fsum(durations)
+    return {
+        "total_seconds": total,
+        "mean_seconds": total / len(durations),
+        "max_seconds": max(durations),
+    }

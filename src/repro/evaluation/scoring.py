@@ -1,0 +1,92 @@
+"""Scoring one labelled table with every registered measure.
+
+The central cost discipline of the harness (and of the paper's runtime
+experiment, Table V): the sufficient statistics of a candidate FD are
+computed *once* per ``(table, FD)`` and shared by all fourteen measures
+via :meth:`AfdMeasure.score_from_statistics`; per-measure wall-clock
+times therefore exclude the shared statistics pass, which is reported
+separately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.base import AfdMeasure
+from repro.core.registry import iter_measures
+from repro.core.statistics import FdStatistics
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class MeasureConfig:
+    """Picklable recipe for building the measure set inside a worker.
+
+    Measure instances are rebuilt from this config in every worker
+    process, so the harness never ships live objects across the pool.
+    """
+
+    expectation: str = "exact"
+    mc_samples: int = 200
+    sfi_alpha: float = 0.5
+    seed: Optional[int] = 0
+
+    def build(self) -> Dict[str, AfdMeasure]:
+        return dict(
+            iter_measures(
+                expectation=self.expectation,
+                mc_samples=self.mc_samples,
+                sfi_alpha=self.sfi_alpha,
+                seed=self.seed,
+            )
+        )
+
+
+@dataclass
+class TableScore:
+    """All measure scores (and runtimes) of one labelled table."""
+
+    table: str
+    benchmark: str
+    step: int
+    index: int
+    positive: bool
+    parameter_value: float
+    num_rows: int
+    statistics_seconds: float
+    scores: Dict[str, float] = field(default_factory=dict)
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> int:
+        return 1 if self.positive else 0
+
+
+def score_with_shared_statistics(
+    relation: Relation,
+    fd: FunctionalDependency,
+    measures: Mapping[str, AfdMeasure],
+    statistics: Optional[FdStatistics] = None,
+) -> tuple:
+    """``(scores, runtimes, statistics_seconds)`` for one candidate FD.
+
+    The statistics object (supplied or computed here) is shared across all
+    measures; derived quantities cached on it by one measure are reused by
+    the others, so e.g. RFI+ and RFI'+ pay for the permutation expectation
+    only once.
+    """
+    statistics_seconds = 0.0
+    if statistics is None:
+        start = time.perf_counter()
+        statistics = FdStatistics.compute(relation, fd)
+        statistics_seconds = time.perf_counter() - start
+    scores: Dict[str, float] = {}
+    runtimes: Dict[str, float] = {}
+    for name, measure in measures.items():
+        start = time.perf_counter()
+        scores[name] = measure.score_from_statistics(statistics)
+        runtimes[name] = time.perf_counter() - start
+    return scores, runtimes, statistics_seconds

@@ -1,0 +1,26 @@
+"""Experiment drivers: one per paper artifact, emitting JSON + CSV.
+
+* :mod:`repro.experiments.sensitivity` — the ERR / UNIQ / SKEW sweeps of
+  Section V (PR-AUC summaries and per-step sensitivity curves);
+* :mod:`repro.experiments.rwde` — the RWDe error-type x error-level grid
+  of Appendix G / Table VIII;
+* :mod:`repro.experiments.properties` — the Table III property catalogue
+  check (static + empirical).
+
+All drivers share the parallel evaluation harness and write their
+artifacts under ``results/`` by default; ``python -m repro.experiments``
+is the command-line front end.
+"""
+
+from repro.experiments.properties import PropertiesConfig, run_properties
+from repro.experiments.rwde import RwdeConfig, run_rwde
+from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
+
+__all__ = [
+    "PropertiesConfig",
+    "RwdeConfig",
+    "SensitivityConfig",
+    "run_properties",
+    "run_rwde",
+    "run_sensitivity",
+]

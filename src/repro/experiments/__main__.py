@@ -1,0 +1,228 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    # laptop-scale ERR sweep, two workers
+    python -m repro.experiments --benchmark err --steps 5 --tables-per-step 3 --jobs 2
+
+    # the full-paper configuration (same code path, bigger grid)
+    python -m repro.experiments --benchmark err --steps 50 --tables-per-step 50 \
+        --max-rows 10000 --expectation exact --jobs 8
+
+    # everything: ERR + UNIQ + SKEW + RWDe + Table III
+    python -m repro.experiments --benchmark all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.registry import paper_label
+from repro.experiments.properties import PropertiesConfig, run_properties
+from repro.experiments.rwde import RwdeConfig, run_rwde
+from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
+
+SENSITIVITY_BENCHMARKS = ("err", "uniq", "skew")
+BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + ("rwde", "properties", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's comparative AFD-measure experiments.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        choices=BENCHMARK_CHOICES,
+        default="err",
+        help="which experiment to run (default: err)",
+    )
+    parser.add_argument("--steps", type=int, default=5, help="sweep steps (default: 5)")
+    parser.add_argument(
+        "--tables-per-step",
+        type=int,
+        default=3,
+        help="B+/B- tables per step and subset (default: 3)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1)")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed (default: the benchmark's classical seed)",
+    )
+    parser.add_argument("--min-rows", type=int, default=100, help="minimum table size")
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=1000,
+        help="maximum table size (paper: 10000; default: 1000 for laptop runs)",
+    )
+    parser.add_argument(
+        "--expectation",
+        choices=("exact", "monte-carlo"),
+        default="monte-carlo",
+        help="permutation-expectation strategy for RFI+/RFI'+ "
+        "(default: monte-carlo; the paper uses exact)",
+    )
+    parser.add_argument(
+        "--mc-samples",
+        type=int,
+        default=100,
+        help="Monte-Carlo samples for the permutation expectation (default: 100)",
+    )
+    parser.add_argument(
+        "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
+    )
+    parser.add_argument(
+        "--output-dir",
+        default="results",
+        help="artifact directory (default: results/); use '-' to skip writing",
+    )
+    parser.add_argument(
+        "--rwde-num-rows",
+        type=int,
+        default=400,
+        help="rows per RWD stand-in relation in the RWDe sweep (default: 400)",
+    )
+    parser.add_argument(
+        "--rwde-error-levels",
+        default="0.01,0.02,0.05",
+        help="comma-separated RWDe error levels (default: 0.01,0.02,0.05)",
+    )
+    parser.add_argument(
+        "--rwde-error-types",
+        default="copy,typo,bogus",
+        help="comma-separated RWDe error types (default: copy,typo,bogus)",
+    )
+    return parser
+
+
+def _print_summary(title: str, summary: Dict[str, Dict[str, float]]) -> None:
+    print(f"\n{title}")
+    header = f"{'measure':<16} {'PR-AUC':>8} {'rank@maxR':>10} {'separation':>11} {'total s':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, metrics in summary.items():
+        print(
+            f"{paper_label(name):<16} "
+            f"{metrics['pr_auc']:>8.3f} "
+            f"{metrics['rank_at_max_recall']:>10.0f} "
+            f"{metrics['separation']:>11.3f} "
+            f"{metrics.get('total_seconds', 0.0):>9.3f}"
+        )
+
+
+def _run_sensitivity(
+    args: argparse.Namespace, benchmark: str, output_dir: Optional[str]
+) -> Dict[str, object]:
+    config = SensitivityConfig(
+        benchmark=benchmark,
+        steps=args.steps,
+        tables_per_step=args.tables_per_step,
+        jobs=args.jobs,
+        seed=args.seed,
+        min_rows=args.min_rows,
+        max_rows=args.max_rows,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    started = time.perf_counter()
+    payload = run_sensitivity(config, output_dir=output_dir)
+    elapsed = time.perf_counter() - started
+    _print_summary(
+        f"{payload['benchmark']} ({payload['num_tables']} tables, {elapsed:.1f}s)",
+        payload["summary"],  # type: ignore[arg-type]
+    )
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/{benchmark}/{{summary.json,summary.csv,scores.csv,curves.csv}}")
+    return payload
+
+
+def _run_rwde(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    config = RwdeConfig(
+        error_types=tuple(part.strip() for part in args.rwde_error_types.split(",") if part.strip()),
+        error_levels=tuple(
+            float(part) for part in args.rwde_error_levels.split(",") if part.strip()
+        ),
+        num_rows=args.rwde_num_rows,
+        seed=args.seed if args.seed is not None else 0,
+        jobs=args.jobs,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    started = time.perf_counter()
+    payload = run_rwde(config, output_dir=output_dir)
+    elapsed = time.perf_counter() - started
+    print(f"\nRWDe grid ({len(payload['cells'])} cells, {elapsed:.1f}s)")
+    for cell in payload["cells"]:  # type: ignore[union-attr]
+        best = max(cell["measures"].items(), key=lambda item: item[1]["pr_auc"])
+        print(
+            f"  {cell['error_type']:<6} eta={cell['error_level']:<5g} "
+            f"candidates={cell['candidates']:<4} positives={cell['positives']:<3} "
+            f"best={paper_label(best[0])} (PR-AUC {best[1]['pr_auc']:.3f})"
+        )
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/rwde/{{summary.json,summary.csv}}")
+
+
+def _run_properties(
+    args: argparse.Namespace,
+    output_dir: Optional[str],
+    precomputed_curves: Optional[Dict[str, object]] = None,
+) -> None:
+    config = PropertiesConfig(
+        steps=args.steps,
+        tables_per_step=args.tables_per_step,
+        jobs=args.jobs,
+        seed=args.seed,
+        min_rows=args.min_rows,
+        max_rows=args.max_rows,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    started = time.perf_counter()
+    payload = run_properties(config, output_dir=output_dir, precomputed_curves=precomputed_curves)
+    elapsed = time.perf_counter() - started
+    consistent = payload["static_catalogue_consistent"]
+    print(f"\nTable III property check ({elapsed:.1f}s)")
+    print(f"  static catalogue consistency: {'OK' if consistent else 'MISMATCH'}")
+    for row in payload["rows"]:  # type: ignore[union-attr]
+        print(
+            f"  {row['label']:<8} err-corr={row['observed_error_correlation']:+.2f} "
+            f"uniq-corr={row['observed_uniq_correlation']:+.2f} "
+            f"skew-corr={row['observed_skew_correlation']:+.2f}"
+        )
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/properties/{{table3.json,table3.csv}}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    output_dir = None if args.output_dir == "-" else args.output_dir
+    if args.benchmark in SENSITIVITY_BENCHMARKS:
+        _run_sensitivity(args, args.benchmark, output_dir)
+    elif args.benchmark == "rwde":
+        _run_rwde(args, output_dir)
+    elif args.benchmark == "properties":
+        _run_properties(args, output_dir)
+    else:  # all
+        curves = {}
+        for benchmark in SENSITIVITY_BENCHMARKS:
+            payload = _run_sensitivity(args, benchmark, output_dir)
+            curves[benchmark] = payload["curves"]
+        _run_rwde(args, output_dir)
+        # The property check reuses the curves computed above instead of
+        # re-evaluating the three sweeps.
+        _run_properties(args, output_dir, precomputed_curves=curves)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

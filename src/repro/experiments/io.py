@@ -1,0 +1,48 @@
+"""Result persistence: JSON and CSV artifacts under ``results/``.
+
+Every experiment driver emits one machine-readable JSON payload (the full
+summary, for downstream plotting) plus flat CSV files (one row per
+measure / table / step, for spreadsheet inspection).  Writers are
+deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def ensure_directory(path: PathLike) -> Path:
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def write_json(path: PathLike, payload: object) -> Path:
+    """Write ``payload`` as deterministic, human-diffable JSON."""
+    target = Path(path)
+    ensure_directory(target.parent)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def write_csv(
+    path: PathLike,
+    fieldnames: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+) -> Path:
+    """Write dict rows as CSV; missing fields become empty cells."""
+    target = Path(path)
+    ensure_directory(target.parent)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(fieldnames), restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return target

@@ -1,0 +1,110 @@
+"""Synthetic stand-ins for the RWD benchmark relations (Table II).
+
+Without network access the original public datasets cannot be downloaded,
+so each builder below reproduces one relation's *structure*: attribute
+count, key columns, value skew, NULLs, and a planted design schema whose
+perfect/approximate split mirrors the paper's Table II in spirit — every
+relation contributes perfect design FDs (corruptible by the RWDe error
+channels) and most contribute approximate design FDs (the discovery
+ground truth).
+
+All builders take ``(num_rows, seed)`` so the whole benchmark scales from
+unit-test size to paper-like size with one parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.rwd.builder import TableBuilder
+from repro.rwd.schema import RwdRelation
+
+DatasetBuilder = Callable[[int, int], RwdRelation]
+
+
+def build_addresses(num_rows: int, seed: int) -> RwdRelation:
+    """R1 — postal addresses: zip -> city -> region chains with dirty cities."""
+    builder = TableBuilder(num_rows, seed)
+    builder.add_key("address_id")
+    builder.add_categorical("zip", cardinality=max(20, num_rows // 20), skew=0.8)
+    builder.add_derived("city", source="zip", cardinality=max(10, num_rows // 60), noise_rate=0.01)
+    builder.add_derived("region", source="city", cardinality=6)
+    builder.add_derived("region_code", source="region", injective=True)
+    builder.add_numeric("house_number", low=1, high=400)
+    return builder.build("R1", "addresses", "zip/city/region hierarchy with noisy city names")
+
+
+def build_products(num_rows: int, seed: int) -> RwdRelation:
+    """R2 — product catalogue: sku key, category tree, dirty tax class."""
+    builder = TableBuilder(num_rows, seed)
+    builder.add_key("sku")
+    builder.add_categorical("category", cardinality=max(15, num_rows // 40), skew=0.5)
+    builder.add_derived("department", source="category", cardinality=8)
+    builder.add_derived("tax_class", source="department", cardinality=4, noise_rate=0.015)
+    builder.add_numeric("price", low=1, high=5000, integer=False)
+    builder.add_derived("supplier", source="category", cardinality=12, in_schema=False)
+    return builder.build("R2", "products", "category tree with a noisy tax class")
+
+
+def build_patients(num_rows: int, seed: int) -> RwdRelation:
+    """R3 — clinical encounters: diagnosis coding with NULLs and typos."""
+    builder = TableBuilder(num_rows, seed)
+    builder.add_key("encounter_id")
+    builder.add_categorical("diagnosis_code", cardinality=max(25, num_rows // 25), skew=1.2)
+    builder.add_derived(
+        "diagnosis_text", source="diagnosis_code", injective=True, noise_rate=0.02
+    )
+    builder.add_derived("chapter", source="diagnosis_code", cardinality=10)
+    builder.add_categorical("ward", cardinality=12, null_rate=0.05)
+    builder.add_derived("clinic", source="ward", cardinality=5, null_rate=0.02)
+    return builder.build("R3", "patients", "diagnosis coding with NULLs and dirty texts")
+
+
+def build_flights(num_rows: int, seed: int) -> RwdRelation:
+    """R4 — flight legs: airport/carrier lookups, one dominant hub."""
+    builder = TableBuilder(num_rows, seed)
+    builder.add_key("leg_id")
+    builder.add_categorical(
+        "origin", cardinality=max(12, num_rows // 80), majority_share=0.4
+    )
+    builder.add_derived("origin_city", source="origin", injective=True)
+    builder.add_derived("origin_tz", source="origin_city", cardinality=6)
+    builder.add_categorical("carrier", cardinality=9, skew=0.6)
+    builder.add_derived("carrier_name", source="carrier", injective=True, noise_rate=0.01)
+    builder.add_numeric("delay_minutes", low=0, high=360)
+    return builder.build("R4", "flights", "airport and carrier lookups with a dominant hub")
+
+
+def build_census(num_rows: int, seed: int) -> RwdRelation:
+    """R5 — census-like microdata: broad skews, a spurious correlate."""
+    builder = TableBuilder(num_rows, seed)
+    builder.add_key("respondent_id")
+    builder.add_categorical("occupation", cardinality=max(18, num_rows // 50), skew=1.5)
+    builder.add_derived("sector", source="occupation", cardinality=7, noise_rate=0.012)
+    builder.add_categorical("municipality", cardinality=max(10, num_rows // 100), skew=0.4)
+    builder.add_derived("province", source="municipality", cardinality=5)
+    builder.add_derived("income_band", source="occupation", cardinality=5, in_schema=False)
+    builder.add_numeric("age", low=16, high=95)
+    return builder.build("R5", "census", "skewed microdata with a spurious income correlate")
+
+
+#: Builders keyed by relation id, in Table II order.
+DATASET_BUILDERS: Dict[str, DatasetBuilder] = {
+    "R1": build_addresses,
+    "R2": build_products,
+    "R3": build_patients,
+    "R4": build_flights,
+    "R5": build_census,
+}
+
+
+def dataset_keys() -> List[str]:
+    return list(DATASET_BUILDERS)
+
+
+def build_dataset(key: str, num_rows: int = 1000, seed: int = 0) -> RwdRelation:
+    """Build one stand-in relation by key (seed offsets keep keys independent)."""
+    if key not in DATASET_BUILDERS:
+        raise KeyError(f"unknown RWD dataset {key!r}; known: {dataset_keys()}")
+    index = dataset_keys().index(key)
+    return DATASET_BUILDERS[key](num_rows, seed + 7919 * index)

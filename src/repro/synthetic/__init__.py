@@ -18,17 +18,27 @@ from repro.synthetic.generator import (
     sample_parameters,
 )
 from repro.synthetic.benchmarks import (
+    BENCHMARK_KINDS,
     BenchmarkTable,
     SyntheticBenchmark,
+    TableSpec,
+    benchmark_specs,
+    build_benchmark_from_specs,
     build_err_benchmark,
     build_skew_benchmark,
     build_uniq_benchmark,
+    iter_benchmark_tables,
 )
 
 __all__ = [
+    "BENCHMARK_KINDS",
     "BenchmarkTable",
     "GenerationParameters",
     "SyntheticBenchmark",
+    "TableSpec",
+    "benchmark_specs",
+    "build_benchmark_from_specs",
+    "iter_benchmark_tables",
     "beta_parameters_for_skewness",
     "beta_skewness",
     "build_err_benchmark",

@@ -15,7 +15,6 @@ Relations are generated over the two attributes ``X`` and ``Y``:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 import numpy as np
 

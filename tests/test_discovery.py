@@ -1,0 +1,105 @@
+"""Tests of single-LHS measure-based AFD discovery."""
+
+import pytest
+
+from repro.core import FdStatistics, all_measures
+from repro.discovery import discover_afds
+from repro.relation import FunctionalDependency, Relation
+
+RELATION = Relation(
+    ["zip", "city", "country"],
+    [
+        ("1000", "Brussels", "BE"),
+        ("1000", "Brussels", "BE"),
+        ("1000", "Bruxelles", "BE"),
+        ("3590", "Diepenbeek", "BE"),
+        ("75001", "Paris", "FR"),
+    ],
+    name="demo",
+)
+
+
+def test_candidate_grid_is_exhaustive():
+    result = discover_afds(RELATION, threshold=0.0)
+    assert len(result) == 6  # 3 attributes -> 3 * 2 ordered pairs
+    fds = {str(candidate.fd) for candidate in result.candidates}
+    assert "zip -> city" in fds and "city -> zip" in fds
+
+
+def test_exact_fds_are_pruned_and_score_one():
+    result = discover_afds(RELATION, threshold=0.0)
+    exact = {str(fd) for fd in result.exact_fds()}
+    assert exact == {"zip -> country", "city -> zip", "city -> country"}
+    assert result.pruned_exact == 3
+    for candidate in result.candidates:
+        if candidate.exact:
+            assert all(score == 1.0 for score in candidate.scores.values())
+
+
+def test_pruned_scores_match_direct_scoring():
+    """The partition shortcut must agree with the full statistics path."""
+    measures = all_measures()
+    result = discover_afds(RELATION, measures=measures, threshold=0.0)
+    for candidate in result.candidates:
+        statistics = FdStatistics.compute(RELATION, candidate.fd)
+        for name, measure in measures.items():
+            assert candidate.scores[name] == measure.score_from_statistics(statistics), (
+                str(candidate.fd),
+                name,
+            )
+
+
+def test_threshold_filters_and_orders_candidates():
+    result = discover_afds(RELATION, threshold=0.9)
+    accepted = result.accepted("mu_plus")
+    assert [str(candidate.fd) for candidate in accepted] == [
+        "zip -> country",
+        "city -> zip",
+        "city -> country",
+    ]
+    scores = [candidate.scores["mu_plus"] for candidate in accepted]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_per_measure_thresholds():
+    thresholds = {name: 1.1 for name in all_measures()}
+    thresholds["g3"] = 0.7
+    result = discover_afds(RELATION, threshold=thresholds)
+    assert result.accepted_fds("mu_plus") == []  # nothing reaches 1.1
+    assert FunctionalDependency("zip", "city") in result.accepted_fds("g3")
+
+
+def test_missing_threshold_for_a_measure_raises():
+    with pytest.raises(KeyError):
+        discover_afds(RELATION, threshold={"g3": 0.5})
+
+
+def test_lhs_rhs_restriction():
+    result = discover_afds(RELATION, threshold=0.0, lhs_attributes=["zip"], rhs_attributes=["city"])
+    assert [str(candidate.fd) for candidate in result.candidates] == ["zip -> city"]
+
+
+def test_nulls_fall_back_to_paper_semantics():
+    """With NULLs the partition shortcut is unsound and must not be used."""
+    relation = Relation(
+        ["a", "b"],
+        [("1", "x"), ("1", "x"), ("2", None), ("2", None)],
+        name="nulls",
+    )
+    result = discover_afds(relation, threshold=0.0)
+    candidate = next(c for c in result.candidates if str(c.fd) == "a -> b")
+    # Under Section VI-A semantics the NULL tuples are dropped, so a -> b
+    # is satisfied on the remaining rows and every measure scores 1.
+    assert candidate.exact
+    assert all(score == 1.0 for score in candidate.scores.values())
+    assert result.pruned_exact == 0  # the shortcut was bypassed
+
+
+def test_key_lhs_is_always_exact():
+    relation = Relation(
+        ["id", "payload"],
+        [("1", "a"), ("2", "b"), ("3", "a")],
+    )
+    result = discover_afds(relation, threshold=0.5)
+    candidate = next(c for c in result.candidates if str(c.fd) == "id -> payload")
+    assert candidate.exact and candidate.scores["g3"] == 1.0

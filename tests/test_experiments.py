@@ -1,0 +1,164 @@
+"""End-to-end tests of the experiment drivers and the CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.registry import MEASURE_ORDER
+from repro.experiments import (
+    PropertiesConfig,
+    RwdeConfig,
+    SensitivityConfig,
+    run_properties,
+    run_rwde,
+    run_sensitivity,
+)
+from repro.experiments.__main__ import main
+
+TINY = dict(steps=2, tables_per_step=1, max_rows=300, expectation="monte-carlo", mc_samples=20)
+
+
+def test_run_sensitivity_writes_all_artifacts(tmp_path):
+    payload = run_sensitivity(SensitivityConfig(benchmark="err", **TINY), output_dir=str(tmp_path))
+    assert payload["benchmark"] == "ERR"
+    assert set(payload["summary"]) == set(MEASURE_ORDER)
+
+    directory = tmp_path / "err"
+    summary = json.loads((directory / "summary.json").read_text())
+    assert summary["summary"].keys() == payload["summary"].keys()
+    for metrics in summary["summary"].values():
+        assert set(metrics) >= {"pr_auc", "rank_at_max_recall", "separation", "total_seconds"}
+
+    with (directory / "summary.csv").open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert {row["measure"] for row in rows} == set(MEASURE_ORDER)
+    for row in rows:
+        assert 0.0 <= float(row["pr_auc"]) <= 1.0
+
+    with (directory / "scores.csv").open() as handle:
+        score_rows = list(csv.DictReader(handle))
+    assert len(score_rows) == 2 * 1 * 2
+    assert set(MEASURE_ORDER) <= set(score_rows[0])
+
+    with (directory / "curves.csv").open() as handle:
+        curve_rows = list(csv.DictReader(handle))
+    assert len(curve_rows) == 14 * 2  # measures x steps
+
+
+def test_run_sensitivity_without_output_dir_writes_nothing(tmp_path):
+    payload = run_sensitivity(SensitivityConfig(benchmark="skew", **TINY), output_dir=None)
+    assert payload["parameter_name"] == "rhs_skew"
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_run_rwde_grid(tmp_path):
+    config = RwdeConfig(
+        error_types=("copy",),
+        error_levels=(0.02,),
+        num_rows=200,
+        mc_samples=20,
+    )
+    payload = run_rwde(config, output_dir=str(tmp_path))
+    assert len(payload["cells"]) == 1
+    cell = payload["cells"][0]
+    assert cell["positives"] > 0
+    assert set(cell["measures"]) == set(MEASURE_ORDER)
+    summary = json.loads((tmp_path / "rwde" / "summary.json").read_text())
+    assert summary["cells"][0]["candidates"] == cell["candidates"]
+    with (tmp_path / "rwde" / "summary.csv").open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 14
+
+
+def test_run_properties_static_consistency(tmp_path):
+    payload = run_properties(
+        PropertiesConfig(steps=2, tables_per_step=1, max_rows=300, mc_samples=20),
+        output_dir=str(tmp_path),
+    )
+    assert payload["static_catalogue_consistent"] is True
+    assert {row["measure"] for row in payload["rows"]} == set(MEASURE_ORDER)
+    for row in payload["rows"]:
+        assert row["static_class_ok"] and row["static_baselines_ok"]
+        # Laptop grids are noisy, but inverse error proportionality is the
+        # paper's most robust claim: correlations must at least be negative.
+        assert row["observed_error_correlation"] < 0.0
+    table = json.loads((tmp_path / "properties" / "table3.json").read_text())
+    assert len(table["rows"]) == 14
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cli_acceptance_configuration(tmp_path, jobs):
+    exit_code = main(
+        [
+            "--benchmark",
+            "err",
+            "--steps",
+            "2",
+            "--tables-per-step",
+            "1",
+            "--jobs",
+            str(jobs),
+            "--max-rows",
+            "300",
+            "--mc-samples",
+            "20",
+            "--output-dir",
+            str(tmp_path / f"jobs{jobs}"),
+        ]
+    )
+    assert exit_code == 0
+    summary = json.loads((tmp_path / f"jobs{jobs}" / "err" / "summary.json").read_text())
+    assert set(summary["summary"]) == set(MEASURE_ORDER)
+
+
+def test_cli_jobs_do_not_change_scores(tmp_path):
+    for jobs in (1, 2):
+        main(
+            [
+                "--benchmark",
+                "uniq",
+                "--steps",
+                "2",
+                "--tables-per-step",
+                "1",
+                "--jobs",
+                str(jobs),
+                "--max-rows",
+                "300",
+                "--mc-samples",
+                "20",
+                "--output-dir",
+                str(tmp_path / f"jobs{jobs}"),
+            ]
+        )
+    read = lambda jobs: json.loads(  # noqa: E731
+        (tmp_path / f"jobs{jobs}" / "uniq" / "summary.json").read_text()
+    )
+    a, b = read(1), read(2)
+    assert a["curves"] == b["curves"]
+    assert {m: v["pr_auc"] for m, v in a["summary"].items()} == {
+        m: v["pr_auc"] for m, v in b["summary"].items()
+    }
+
+
+def test_cli_dash_output_dir_skips_artifacts(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(
+        [
+            "--benchmark",
+            "err",
+            "--steps",
+            "2",
+            "--tables-per-step",
+            "1",
+            "--max-rows",
+            "300",
+            "--mc-samples",
+            "20",
+            "--output-dir",
+            "-",
+        ]
+    )
+    assert exit_code == 0
+    assert not (tmp_path / "results").exists()

@@ -1,0 +1,203 @@
+"""Golden-value tests for all fourteen AFD measures.
+
+Every score on the quickstart relation (zip -> city) is checked against a
+value derived *by hand* from the paper's definitions — the arithmetic in
+this file deliberately repeats the formulas with plain ``math`` calls
+instead of reusing any library code, so a silent regression in the
+partition/entropy bookkeeping cannot cancel out.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FdStatistics, MeasureClass, all_measures, get_measure, measure_names
+from repro.core.expectations import (
+    expected_mutual_information_exact,
+    expected_value_by_enumeration,
+)
+from repro.core.registry import MEASURE_ORDER, register_measure, unregister_measure
+from repro.info.shannon import mutual_information
+from repro.relation import FunctionalDependency, Relation
+
+# The quickstart relation: N=4, groups zip=1000 -> {Brussels: 2, Bruxelles: 1},
+# zip=3590 -> {Diepenbeek: 1}.
+QUICKSTART = Relation(
+    ["zip", "city"],
+    [
+        ("1000", "Brussels"),
+        ("1000", "Brussels"),
+        ("1000", "Bruxelles"),
+        ("3590", "Diepenbeek"),
+    ],
+)
+FD = FunctionalDependency("zip", "city")
+
+
+def entropy2(counts):
+    """Independent Shannon entropy (base 2) used to derive golden values."""
+    total = sum(counts)
+    return -sum(c / total * math.log2(c / total) for c in counts if c)
+
+
+# Hand-derived quantities of the quickstart relation.
+H_X = entropy2([3, 1])
+H_Y = entropy2([2, 1, 1])  # = 1.5
+H_XY = entropy2([2, 1, 1])  # joint counts happen to match the Y marginal
+H_Y_GIVEN_X = H_XY - H_X
+FI = 1.0 - H_Y_GIVEN_X / H_Y
+PDEP_Y = (2**2 + 1 + 1) / 16  # 3/8
+PDEP_XY = 1.0 - (3 / 4) * (1 - (2 / 3) ** 2 - (1 / 3) ** 2)  # = 2/3
+E_PDEP = PDEP_Y + ((2 - 1) / (4 - 1)) * (1 - PDEP_Y)  # Theorem 1, K=2, N=4
+
+GOLDEN = {
+    "rho": 2 / 3,  # |dom(X)| / |dom(XY)| = 2/3
+    "g2": 1 / 4,  # 3 of 4 tuples are in a violating pair
+    "g3": 3 / 4,  # keep {Brussels, Brussels, Diepenbeek}
+    "g3_prime": (3 - 2) / (4 - 2),
+    "g1": 1 - 4 / 16,  # violating ordered pairs: 3^2 - (2^2 + 1^2) = 4
+    "g1_prime": 1 - 4 / (16 - 6),  # sum of squared tuple multiplicities = 6
+    "pdep": PDEP_XY,
+    "tau": (PDEP_XY - PDEP_Y) / (1 - PDEP_Y),  # = 7/15
+    "mu_plus": (PDEP_XY - E_PDEP) / (1 - E_PDEP),  # = 1/5
+    "gS1": 1.0 - H_Y_GIVEN_X,
+    "fi": FI,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(GOLDEN.items()))
+def test_golden_value(name, expected):
+    assert get_measure(name).score(QUICKSTART, FD) == pytest.approx(expected, abs=1e-12)
+
+
+def test_tau_and_mu_plus_exact_fractions():
+    assert get_measure("tau").score(QUICKSTART, FD) == pytest.approx(7 / 15, abs=1e-12)
+    assert get_measure("mu_plus").score(QUICKSTART, FD) == pytest.approx(1 / 5, abs=1e-12)
+
+
+def test_rfi_measures_against_brute_force_enumeration():
+    """The exact hypergeometric E[I] must equal the 4!-permutation average."""
+    statistics = FdStatistics.compute(QUICKSTART, FD)
+    brute_force = expected_value_by_enumeration(statistics.xy_counts, mutual_information)
+    exact = expected_mutual_information_exact([3, 1], [2, 1, 1])
+    assert exact == pytest.approx(brute_force, abs=1e-9)
+
+    expected_fi = exact / H_Y
+    rfi = get_measure("rfi_plus").score(QUICKSTART, FD)
+    rfi_prime = get_measure("rfi_prime_plus").score(QUICKSTART, FD)
+    assert rfi == pytest.approx(max(FI - expected_fi, 0.0), abs=1e-9)
+    assert rfi_prime == pytest.approx(
+        max((FI - expected_fi) / (1 - expected_fi), 0.0), abs=1e-9
+    )
+
+
+def test_sfi_golden_value():
+    """SFI(0.5) is FI on the 2x3 smoothed contingency table, derived by hand."""
+    smoothed = [2.5, 1.5, 0.5, 0.5, 0.5, 1.5]  # row-major over dom(X) x dom(Y)
+    x_marginal = [2.5 + 1.5 + 0.5, 0.5 + 0.5 + 1.5]
+    y_marginal = [2.5 + 0.5, 1.5 + 0.5, 0.5 + 1.5]
+    h_y_given_x = entropy2(smoothed) - entropy2(x_marginal)
+    expected = 1.0 - h_y_given_x / entropy2(y_marginal)
+    assert get_measure("sfi").score(QUICKSTART, FD) == pytest.approx(expected, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Edge cases shared by all fourteen measures
+# ----------------------------------------------------------------------
+def test_exact_fd_scores_one_for_every_measure():
+    relation = Relation(
+        ["zip", "city"],
+        [("1000", "Brussels"), ("1000", "Brussels"), ("3590", "Diepenbeek")],
+    )
+    for name, measure in all_measures().items():
+        assert measure.score(relation, FD) == 1.0, name
+
+
+def test_empty_relation_scores_one_for_every_measure():
+    relation = Relation(["zip", "city"], [])
+    for name, measure in all_measures().items():
+        assert measure.score(relation, FD) == 1.0, name
+
+
+def test_single_rhs_value_is_satisfied():
+    relation = Relation(["zip", "city"], [("1", "A"), ("2", "A"), ("1", "A")])
+    for name, measure in all_measures().items():
+        assert measure.score(relation, FD) == 1.0, name
+
+
+def test_independence_pushes_corrected_measures_to_zero():
+    """On an X-independent Y column the chance-corrected measures vanish."""
+    rows = [(i % 10, (i // 10) % 10) for i in range(400)]  # full 10x10 grid, 4x each
+    relation = Relation(["zip", "city"], [(str(x), str(y)) for x, y in rows])
+    assert get_measure("mu_plus").score(relation, FD) == pytest.approx(0.0, abs=0.05)
+    assert get_measure("tau").score(relation, FD) == pytest.approx(0.0, abs=0.05)
+    assert get_measure("rfi_plus", expectation="monte-carlo", mc_samples=50).score(
+        relation, FD
+    ) == pytest.approx(0.0, abs=0.05)
+
+
+def test_scores_stay_in_unit_interval_on_noisy_relation():
+    rows = [(str(i % 7), str((i * 13 + i // 7) % 5)) for i in range(200)]
+    relation = Relation(["zip", "city"], rows)
+    statistics = FdStatistics.compute(relation, FD)
+    for name, measure in all_measures(expectation="monte-carlo", mc_samples=30).items():
+        score = measure.score_from_statistics(statistics)
+        assert 0.0 <= score <= 1.0, name
+
+
+# ----------------------------------------------------------------------
+# Registry contract
+# ----------------------------------------------------------------------
+def test_registry_has_exactly_the_fourteen_paper_measures():
+    measures = all_measures()
+    assert list(measures) == list(MEASURE_ORDER)
+    assert len(measures) == 14
+
+
+def test_measure_classes_partition_into_the_three_paper_classes():
+    by_class = {MeasureClass.VIOLATION: 0, MeasureClass.SHANNON: 0, MeasureClass.LOGICAL: 0}
+    for measure in all_measures().values():
+        by_class[measure.measure_class] += 1
+    assert by_class == {
+        MeasureClass.VIOLATION: 4,
+        MeasureClass.SHANNON: 5,
+        MeasureClass.LOGICAL: 5,
+    }
+
+
+def test_shared_statistics_equal_direct_scoring():
+    statistics = FdStatistics.compute(QUICKSTART, FD)
+    for name, measure in all_measures().items():
+        assert measure.score(QUICKSTART, FD) == measure.score_from_statistics(statistics), name
+
+
+def test_register_measure_extends_iteration():
+    base = get_measure("g3")
+
+    class Doubled:
+        name = "g3_copy"
+        measure_class = base.measure_class
+
+        def score_from_statistics(self, statistics):
+            return base.score_from_statistics(statistics)
+
+        def score(self, relation, fd, statistics=None):
+            return base.score(relation, fd, statistics)
+
+    try:
+        register_measure("g3_copy", Doubled)
+        measures = all_measures()
+        assert list(measures)[:14] == list(MEASURE_ORDER)
+        assert "g3_copy" in measures
+        assert measures["g3_copy"].score(QUICKSTART, FD) == get_measure("g3").score(
+            QUICKSTART, FD
+        )
+        assert measure_names() == list(MEASURE_ORDER)  # canonical list is unchanged
+    finally:
+        unregister_measure("g3_copy")
+    assert "g3_copy" not in all_measures()
+
+
+def test_canonical_names_cannot_be_overridden():
+    with pytest.raises(ValueError):
+        register_measure("mu_plus", lambda: None)
