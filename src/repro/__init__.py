@@ -48,7 +48,9 @@ __version__ = "1.0.0"
 #: / ``repro.experiments`` remain reachable as plain attributes.
 _LAZY_SUBMODULES = ("discovery", "errors", "evaluation", "experiments", "rwd", "synthetic")
 _LAZY_ATTRIBUTES = {
+    "brute_force_afds": "repro.discovery",
     "discover_afds": "repro.discovery",
+    "lattice_discover": "repro.discovery",
     "evaluate_benchmark": "repro.evaluation",
     "evaluate_specs": "repro.evaluation",
     "benchmark_specs": "repro.synthetic",
@@ -63,8 +65,10 @@ __all__ = [
     "StrippedPartition",
     "all_measures",
     "benchmark_specs",
+    "brute_force_afds",
     "default_measures",
     "discover_afds",
+    "lattice_discover",
     "evaluate_benchmark",
     "evaluate_specs",
     "get_measure",

@@ -92,6 +92,18 @@ def unregister_measure(name: str) -> None:
     _EXTRA_MEASURES.pop(name, None)
 
 
+def extra_measure_factories() -> Dict[str, Callable[[], AfdMeasure]]:
+    """Snapshot of the registered extra-measure factories, by name.
+
+    This is the worker-initializer contract of the evaluation harness: a
+    process pool ships this mapping to every worker, which re-registers
+    each factory so that ``spawn``/``forkserver`` workers see the same
+    measure set as the parent.  The returned dict is a copy — mutating it
+    does not affect the registry.
+    """
+    return dict(_EXTRA_MEASURES)
+
+
 def iter_measures(**kwargs) -> Iterator[Tuple[str, AfdMeasure]]:
     """Iterate over ``(name, measure)`` pairs in canonical order, extras last.
 

@@ -1,11 +1,19 @@
-"""Measure-based AFD discovery (single-attribute LHS).
+"""Measure-based AFD discovery (single- and multi-attribute LHS).
 
-Exhaustive linear-candidate search with partition-refinement pruning and
-shared sufficient statistics; the discovery counterpart of the paper's
-"measures as discovery criteria" discussion (Section VII).  Multi-attribute
-LHS search over the candidate lattice is a roadmap item.
+:func:`discover_afds` is the unified facade: ``max_lhs_size=1`` (the
+default) gives the exhaustive linear-candidate search, larger values
+extend the search over the LHS lattice via the TANE-style level-wise
+traversal of :mod:`repro.discovery.lattice` — partition-product caching,
+exact-FD refinement, key pruning and an optional g3 bound keep the
+exponential candidate space tractable.  ``python -m repro.discovery``
+exposes the same search on CSV files and the named RWD datasets.
 """
 
+from repro.discovery.lattice import (
+    PartitionCache,
+    brute_force_afds,
+    lattice_discover,
+)
 from repro.discovery.single import (
     CandidateScore,
     DiscoveryResult,
@@ -15,5 +23,8 @@ from repro.discovery.single import (
 __all__ = [
     "CandidateScore",
     "DiscoveryResult",
+    "PartitionCache",
+    "brute_force_afds",
     "discover_afds",
+    "lattice_discover",
 ]

@@ -1,24 +1,27 @@
-"""Measure-based AFD discovery with single-attribute LHS.
+"""Measure-based AFD discovery: result model and the unified facade.
 
-Exhaustive search over all linear candidates ``A -> B`` of a relation:
-every candidate is scored by every requested measure on one shared
-:class:`FdStatistics` object, and accepted when its score reaches the
-(per-measure) threshold.
+:func:`discover_afds` is the single entry point for measure-based AFD
+search.  With the default ``max_lhs_size=1`` it performs the exhaustive
+linear-candidate search ``A -> B`` of the paper's Section VII discussion;
+with ``max_lhs_size > 1`` it extends the search to multi-attribute LHS
+candidates via the TANE-style level-wise traversal of
+:mod:`repro.discovery.lattice`.  Both configurations share one engine,
+one result model and one cost discipline:
 
-Two layers of reuse keep the quadratic candidate space cheap:
-
-* one :class:`StrippedPartition` per attribute, computed once and shared
-  by all candidates touching that attribute — partition refinement
-  (``π_A`` refines ``π_B`` iff ``A -> B`` holds exactly) prunes exactly
-  satisfied candidates before any statistics are computed, since every
-  measure scores them 1 by convention;
+* one :class:`~repro.relation.partition.StrippedPartition` per lattice
+  node, computed once (level 1) or as a cached partition product
+  (deeper levels) and shared by every candidate touching that node —
+  partition refinement, key detection and the optional g3 bound prune
+  exactly satisfied or hopeless candidates before any statistics are
+  computed, since every measure scores satisfied FDs 1.0 by convention;
 * one :class:`FdStatistics` per surviving candidate, shared across all
   measures (the same discipline as the evaluation harness).
 
-The partition shortcut is only applied to NULL-free attribute pairs:
-partitions treat NULL as an ordinary value while the paper's semantics
-(Section VI-A) drop NULL tuples, so candidates with NULLs fall through to
-the statistics path, whose ``satisfied`` check uses the paper semantics.
+Partition shortcuts are only applied to NULL-free candidates: partitions
+treat NULL as an ordinary value while the paper's semantics
+(Section VI-A) drop NULL tuples, so candidates with NULLs fall through
+to the statistics path, whose ``satisfied`` check uses the paper
+semantics.
 """
 
 from __future__ import annotations
@@ -27,11 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.base import AfdMeasure
-from repro.core.registry import all_measures
-from repro.core.statistics import FdStatistics
 from repro.relation.fd import FunctionalDependency
-from repro.relation.nulls import is_null
-from repro.relation.partition import StrippedPartition
 from repro.relation.relation import Relation
 
 Thresholds = Union[float, Mapping[str, float]]
@@ -39,7 +38,7 @@ Thresholds = Union[float, Mapping[str, float]]
 
 @dataclass
 class CandidateScore:
-    """One linear candidate FD with its scores under all measures."""
+    """One candidate FD with its scores under all measures."""
 
     fd: FunctionalDependency
     scores: Dict[str, float]
@@ -51,13 +50,26 @@ class CandidateScore:
 
 @dataclass
 class DiscoveryResult:
-    """All scored candidates of one relation plus the acceptance view."""
+    """All scored candidates of one relation plus the acceptance view.
+
+    The pruning counters report how much work the lattice traversal
+    avoided: ``pruned_exact`` candidates were proven exactly satisfied
+    (by partition refinement or by containing a known exact LHS),
+    ``pruned_key`` candidates had a key LHS, ``pruned_bound`` candidates
+    fell below the optional g3 bound and were dropped, and
+    ``statistics_computed`` counts the :meth:`FdStatistics.compute`
+    passes actually performed (brute force needs one per candidate).
+    """
 
     relation_name: str
     measure_names: List[str]
     thresholds: Dict[str, float]
     candidates: List[CandidateScore] = field(default_factory=list)
     pruned_exact: int = 0
+    pruned_key: int = 0
+    pruned_bound: int = 0
+    statistics_computed: int = 0
+    max_lhs_size: int = 1
 
     def accepted(self, measure: str) -> List[CandidateScore]:
         """Candidates meeting the measure's threshold, best score first."""
@@ -71,37 +83,18 @@ class DiscoveryResult:
     def exact_fds(self) -> List[FunctionalDependency]:
         return [candidate.fd for candidate in self.candidates if candidate.exact]
 
+    def counters(self) -> Dict[str, int]:
+        """The pruning/work counters as one report-friendly mapping."""
+        return {
+            "candidates": len(self.candidates),
+            "pruned_exact": self.pruned_exact,
+            "pruned_key": self.pruned_key,
+            "pruned_bound": self.pruned_bound,
+            "statistics_computed": self.statistics_computed,
+        }
+
     def __len__(self) -> int:
         return len(self.candidates)
-
-
-class _PartitionCache:
-    """Per-attribute stripped partitions plus NULL flags, computed lazily."""
-
-    def __init__(self, relation: Relation):
-        self._relation = relation
-        self._partitions: Dict[str, StrippedPartition] = {}
-        self._has_nulls: Dict[str, bool] = {}
-
-    def partition(self, attribute: str) -> StrippedPartition:
-        cached = self._partitions.get(attribute)
-        if cached is None:
-            cached = StrippedPartition.from_relation(self._relation, attribute)
-            self._partitions[attribute] = cached
-        return cached
-
-    def has_nulls(self, attribute: str) -> bool:
-        cached = self._has_nulls.get(attribute)
-        if cached is None:
-            cached = any(is_null(value) for value in self._relation.column(attribute))
-            self._has_nulls[attribute] = cached
-        return cached
-
-    def exactly_satisfied(self, lhs: str, rhs: str) -> Optional[bool]:
-        """Partition-refinement check; ``None`` when NULLs make it unsound."""
-        if self.has_nulls(lhs) or self.has_nulls(rhs):
-            return None
-        return self.partition(lhs).refines(self.partition(rhs))
 
 
 def _resolve_thresholds(
@@ -121,41 +114,30 @@ def discover_afds(
     threshold: Thresholds = 0.9,
     lhs_attributes: Optional[Sequence[str]] = None,
     rhs_attributes: Optional[Sequence[str]] = None,
+    max_lhs_size: int = 1,
+    g3_bound: Optional[float] = None,
 ) -> DiscoveryResult:
-    """Exhaustively score all single-LHS candidates of ``relation``.
+    """Score all candidates ``X -> A`` of ``relation`` with ``|X| <= max_lhs_size``.
 
     ``threshold`` is either one global acceptance level or a per-measure
     mapping.  ``lhs_attributes`` / ``rhs_attributes`` restrict the
-    candidate grid (defaults: every attribute on both sides).
+    candidate grid (defaults: every attribute on both sides);
+    multi-attribute LHS nodes are built from ``lhs_attributes`` only.
+    ``g3_bound`` (optional) drops candidates whose partition-computed
+    ``g3`` score falls below the bound before any statistics are
+    computed; dropped candidates do not appear in the result.
+
+    Scores are bit-identical to brute-force :meth:`FdStatistics.compute`
+    scoring of the same candidates for every ``max_lhs_size``.
     """
-    measures = measures if measures is not None else all_measures()
-    measure_names = list(measures)
-    thresholds = _resolve_thresholds(threshold, measure_names)
-    lhs_pool = list(lhs_attributes) if lhs_attributes is not None else list(relation.attributes)
-    rhs_pool = list(rhs_attributes) if rhs_attributes is not None else list(relation.attributes)
-    cache = _PartitionCache(relation)
-    result = DiscoveryResult(
-        relation_name=relation.name, measure_names=measure_names, thresholds=thresholds
+    from repro.discovery.lattice import lattice_discover
+
+    return lattice_discover(
+        relation,
+        measures=measures,
+        threshold=threshold,
+        max_lhs_size=max_lhs_size,
+        lhs_attributes=lhs_attributes,
+        rhs_attributes=rhs_attributes,
+        g3_bound=g3_bound,
     )
-    for lhs in lhs_pool:
-        for rhs in rhs_pool:
-            if lhs == rhs:
-                continue
-            fd = FunctionalDependency(lhs, rhs)
-            exact = cache.exactly_satisfied(lhs, rhs)
-            if exact:
-                # Every measure scores a satisfied FD 1.0 by convention —
-                # skip the statistics computation entirely.
-                result.pruned_exact += 1
-                scores = {name: 1.0 for name in measure_names}
-                result.candidates.append(CandidateScore(fd, scores, exact=True))
-                continue
-            statistics = FdStatistics.compute(relation, fd)
-            scores = {
-                name: measure.score_from_statistics(statistics)
-                for name, measure in measures.items()
-            }
-            result.candidates.append(
-                CandidateScore(fd, scores, exact=statistics.satisfied or statistics.is_empty)
-            )
-    return result

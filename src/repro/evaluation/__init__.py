@@ -18,6 +18,7 @@ from repro.evaluation.metrics import (
     pr_auc,
     precision_recall_points,
     rank_at_max_recall,
+    ranking_summary,
     runtime_stats,
     separation,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "pr_auc",
     "precision_recall_points",
     "rank_at_max_recall",
+    "ranking_summary",
     "runtime_stats",
     "score_with_shared_statistics",
     "separation",

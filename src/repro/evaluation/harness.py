@@ -17,13 +17,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import registry
 
-from repro.evaluation.metrics import (
-    normalized_rank_at_max_recall,
-    pr_auc,
-    rank_at_max_recall,
-    runtime_stats,
-    separation,
-)
+from repro.evaluation.metrics import ranking_summary, runtime_stats
 from repro.evaluation.scoring import MeasureConfig, TableScore, score_with_shared_statistics
 from repro.synthetic.benchmarks import SyntheticBenchmark, TableSpec
 from repro.synthetic.generator import SYNTHETIC_FD
@@ -92,19 +86,16 @@ class EvaluationResult:
     # Derived metrics
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-measure PR-AUC, rank-at-max-recall, separation and runtimes."""
+        """Per-measure PR-AUC, rank-at-max-recall, separation and runtimes.
+
+        Metrics that a degenerate benchmark leaves undefined (no
+        positives, or no negatives for the separation) are reported as
+        ``float("nan")`` rather than raising.
+        """
         labels = self.labels()
         result: Dict[str, Dict[str, float]] = {}
         for name in self.measure_names:
-            scores = self.scores(name)
-            entry: Dict[str, float] = {
-                "pr_auc": pr_auc(labels, scores),
-                "rank_at_max_recall": float(rank_at_max_recall(labels, scores)),
-                "normalized_rank_at_max_recall": normalized_rank_at_max_recall(
-                    labels, scores
-                ),
-                "separation": separation(labels, scores),
-            }
+            entry: Dict[str, float] = ranking_summary(labels, self.scores(name))
             entry.update(runtime_stats(self.runtimes(name)))
             result[name] = entry
         return result
@@ -161,7 +152,7 @@ def evaluate_specs(
     else:
         if chunksize is None:
             chunksize = max(1, len(tasks) // (4 * jobs))
-        extras = dict(registry._EXTRA_MEASURES)
+        extras = registry.extra_measure_factories()
         with ProcessPoolExecutor(
             max_workers=jobs, initializer=_init_worker, initargs=(extras,)
         ) as executor:

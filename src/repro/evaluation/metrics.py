@@ -112,6 +112,37 @@ def separation(labels: Sequence[int], scores: Sequence[float]) -> float:
     return min(positive_scores) - max(negative_scores)
 
 
+def ranking_summary(labels: Sequence[int], scores: Sequence[float]) -> dict:
+    """PR-AUC, rank-at-max-recall (raw + normalised) and separation, NaN-safe.
+
+    Degenerate label sets leave some metrics undefined — a ranking
+    without positives has no precision–recall curve, a single-class
+    ranking no separation.  The undefined entries become ``float("nan")``
+    instead of raising, so all-positive or all-negative benchmarks still
+    summarise; the individual metric functions keep their strict
+    ``ValueError`` contracts.
+    """
+    nan = float("nan")
+    has_positive = any(labels)
+    has_negative = any(not label for label in labels)
+    if has_positive:
+        entry = {
+            "pr_auc": pr_auc(labels, scores),
+            "rank_at_max_recall": float(rank_at_max_recall(labels, scores)),
+            "normalized_rank_at_max_recall": normalized_rank_at_max_recall(labels, scores),
+        }
+    else:
+        entry = {
+            "pr_auc": nan,
+            "rank_at_max_recall": nan,
+            "normalized_rank_at_max_recall": nan,
+        }
+    entry["separation"] = (
+        separation(labels, scores) if has_positive and has_negative else nan
+    )
+    return entry
+
+
 def runtime_stats(durations: Sequence[float]) -> dict:
     """Mean / total / max wall-clock seconds of a measure over a benchmark."""
     if not durations:

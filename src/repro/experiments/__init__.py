@@ -5,21 +5,27 @@
 * :mod:`repro.experiments.rwde` — the RWDe error-type x error-level grid
   of Appendix G / Table VIII;
 * :mod:`repro.experiments.properties` — the Table III property catalogue
-  check (static + empirical).
+  check (static + empirical);
+* :mod:`repro.experiments.discovery` — lattice (multi-attribute LHS)
+  AFD discovery over the RWD benchmark, ranked against the design-schema
+  ground truth (the paper's Section VII discovery discussion).
 
 All drivers share the parallel evaluation harness and write their
 artifacts under ``results/`` by default; ``python -m repro.experiments``
 is the command-line front end.
 """
 
+from repro.experiments.discovery import DiscoveryConfig, run_discovery
 from repro.experiments.properties import PropertiesConfig, run_properties
 from repro.experiments.rwde import RwdeConfig, run_rwde
 from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
 
 __all__ = [
+    "DiscoveryConfig",
     "PropertiesConfig",
     "RwdeConfig",
     "SensitivityConfig",
+    "run_discovery",
     "run_properties",
     "run_rwde",
     "run_sensitivity",

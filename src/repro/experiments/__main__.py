@@ -9,7 +9,10 @@ Examples::
     python -m repro.experiments --benchmark err --steps 50 --tables-per-step 50 \
         --max-rows 10000 --expectation exact --jobs 8
 
-    # everything: ERR + UNIQ + SKEW + RWDe + Table III
+    # multi-attribute lattice discovery over the RWD benchmark
+    python -m repro.experiments --benchmark discovery --max-lhs-size 2
+
+    # everything: ERR + UNIQ + SKEW + RWDe + discovery + Table III
     python -m repro.experiments --benchmark all
 """
 
@@ -21,12 +24,13 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core.registry import paper_label
+from repro.experiments.discovery import DiscoveryConfig, run_discovery
 from repro.experiments.properties import PropertiesConfig, run_properties
 from repro.experiments.rwde import RwdeConfig, run_rwde
 from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
 
 SENSITIVITY_BENCHMARKS = ("err", "uniq", "skew")
-BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + ("rwde", "properties", "all")
+BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + ("rwde", "discovery", "properties", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--rwde-error-types",
         default="copy,typo,bogus",
         help="comma-separated RWDe error types (default: copy,typo,bogus)",
+    )
+    parser.add_argument(
+        "--max-lhs-size",
+        type=int,
+        default=2,
+        help="LHS lattice depth of the discovery experiment (default: 2)",
+    )
+    parser.add_argument(
+        "--discovery-threshold",
+        type=float,
+        default=0.9,
+        help="acceptance threshold of the discovery experiment (default: 0.9)",
+    )
+    parser.add_argument(
+        "--g3-bound",
+        type=float,
+        default=None,
+        help="optional partition-g3 prefilter for the discovery experiment "
+        "(default: off)",
+    )
+    parser.add_argument(
+        "--discovery-num-rows",
+        type=int,
+        default=400,
+        help="rows per RWD relation in the discovery experiment (default: 400)",
     )
     return parser
 
@@ -171,6 +200,46 @@ def _run_rwde(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         print(f"artifacts: {output_dir}/rwde/{{summary.json,summary.csv}}")
 
 
+def _run_discovery(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    config = DiscoveryConfig(
+        num_rows=args.discovery_num_rows,
+        seed=args.seed if args.seed is not None else 0,
+        max_lhs_size=args.max_lhs_size,
+        threshold=args.discovery_threshold,
+        g3_bound=args.g3_bound,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    started = time.perf_counter()
+    payload = run_discovery(config, output_dir=output_dir)
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nLattice discovery (max_lhs_size={config.max_lhs_size}, "
+        f"{len(payload['relations'])} relations, {elapsed:.1f}s)"
+    )
+    for entry in payload["relations"]:  # type: ignore[union-attr]
+        ranked = {
+            name: metrics
+            for name, metrics in entry["measures"].items()
+            if metrics["pr_auc"] == metrics["pr_auc"]  # drop NaN (degenerate pools)
+        }
+        best = (
+            f"best={paper_label(max(ranked, key=lambda name: ranked[name]['pr_auc']))} "
+            f"(PR-AUC {max(m['pr_auc'] for m in ranked.values()):.3f})"
+            if ranked
+            else "no positives in candidate pool"
+        )
+        print(
+            f"  {entry['key']:<3} candidates={entry['candidates']:<4} "
+            f"stats={entry['statistics_computed']}/{entry['brute_force_statistics']} "
+            f"(pruned {entry['pruned_exact']} exact, {entry['pruned_key']} key, "
+            f"{entry['pruned_bound']} bound) {best}"
+        )
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/discovery/{{summary.json,summary.csv}}")
+
+
 def _run_properties(
     args: argparse.Namespace,
     output_dir: Optional[str],
@@ -210,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_sensitivity(args, args.benchmark, output_dir)
     elif args.benchmark == "rwde":
         _run_rwde(args, output_dir)
+    elif args.benchmark == "discovery":
+        _run_discovery(args, output_dir)
     elif args.benchmark == "properties":
         _run_properties(args, output_dir)
     else:  # all
@@ -218,6 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload = _run_sensitivity(args, benchmark, output_dir)
             curves[benchmark] = payload["curves"]
         _run_rwde(args, output_dir)
+        _run_discovery(args, output_dir)
         # The property check reuses the curves computed above instead of
         # re-evaluating the three sweeps.
         _run_properties(args, output_dir, precomputed_curves=curves)

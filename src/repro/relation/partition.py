@@ -7,15 +7,20 @@ position list index, PLI) used by TANE-style dependency discovery
 algorithms and gives linear-time computation of the ``g3`` error as well
 as cheap partition products for lattice traversal.
 
-The partition substrate is used by :mod:`repro.discovery.lattice` (the
-non-linear AFD discovery extension) and provides an independent
-implementation of FD satisfaction and ``g3`` used for cross-validation in
-the test suite.
+The partition substrate backs :mod:`repro.discovery.lattice`, the
+level-wise multi-attribute AFD discovery engine: lattice nodes are
+attribute sets whose partitions are built incrementally as products of
+their parents' partitions.  To keep level-``k`` products cheaper than
+recomputing from the relation, every partition lazily materialises one
+*probe table* (a position -> cluster-id array) that is shared by
+:meth:`refines`, :meth:`intersect` and :meth:`g3_error`; repeated
+products against the same partition therefore pay the ``O(|R|)`` table
+construction only once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.relation.attribute import canonical_attributes
 from repro.relation.relation import Relation
@@ -46,6 +51,8 @@ class StrippedPartition:
             tuple(sorted(cluster)) for cluster in clusters if len(cluster) >= 2
         ]
         self.clusters.sort()
+        self._probe_cache: Optional[List[int]] = None
+        self._error_cache: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,9 +94,42 @@ class StrippedPartition:
         This equals ``1 - |dom_R(X)| / |R|`` and is 0 exactly when the
         attribute set is a key of the relation.
         """
-        if self.num_rows == 0:
-            return 0.0
-        return (self.total_positions - self.size) / self.num_rows
+        if self._error_cache is None:
+            if self.num_rows == 0:
+                self._error_cache = 0.0
+            else:
+                self._error_cache = (self.total_positions - self.size) / self.num_rows
+        return self._error_cache
+
+    def is_key(self) -> bool:
+        """True when the attribute set is a key (every cluster is a singleton)."""
+        return not self.clusters
+
+    # ------------------------------------------------------------------
+    # Probe table
+    # ------------------------------------------------------------------
+    def probe_table(self) -> List[int]:
+        """Position -> cluster-id array (-1 for stripped singletons).
+
+        Built once and cached; callers must not mutate the returned list.
+        The table is what makes repeated partition products against the
+        same partition cheap: :meth:`intersect`, :meth:`refines` and
+        :meth:`g3_error` all probe it instead of rebuilding an owner map.
+        """
+        if self._probe_cache is None:
+            owner = [-1] * self.num_rows
+            for cluster_id, cluster in enumerate(self.clusters):
+                for position in cluster:
+                    owner[position] = cluster_id
+            self._probe_cache = owner
+        return self._probe_cache
+
+    def _check_compatible(self, other: "StrippedPartition", operation: str) -> None:
+        if self.num_rows != other.num_rows:
+            raise ValueError(
+                f"cannot {operation} partitions over relations of different sizes "
+                f"({self.num_rows} vs {other.num_rows})"
+            )
 
     # ------------------------------------------------------------------
     # Partition algebra
@@ -99,10 +139,8 @@ class StrippedPartition:
 
         ``π_X`` refines ``π_Y`` if and only if the FD ``X -> Y`` holds.
         """
-        owner = [-1] * self.num_rows
-        for cluster_id, cluster in enumerate(other.clusters):
-            for position in cluster:
-                owner[position] = cluster_id
+        self._check_compatible(other, "compare")
+        owner = other.probe_table()
         for cluster in self.clusters:
             # Singleton clusters of ``other`` have owner -1; all positions in a
             # cluster of ``self`` must map to the same owner, and that owner
@@ -115,18 +153,22 @@ class StrippedPartition:
         return True
 
     def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
-        """The partition product ``π_X · π_Z`` (grouping by ``X ∪ Z``)."""
-        if self.num_rows != other.num_rows:
-            raise ValueError(
-                f"cannot intersect partitions over relations of different sizes "
-                f"({self.num_rows} vs {other.num_rows})"
-            )
-        owner = [-1] * self.num_rows
-        for cluster_id, cluster in enumerate(other.clusters):
-            for position in cluster:
-                owner[position] = cluster_id
+        """The partition product ``π_X · π_Z`` (grouping by ``X ∪ Z``).
+
+        The product is symmetric; internally the side covering fewer
+        positions walks its clusters and probes the other side's cached
+        :meth:`probe_table`, so chains of products — as produced by the
+        lattice traversal — only pay for the positions that can still
+        collide.
+        """
+        self._check_compatible(other, "intersect")
+        if self.total_positions <= other.total_positions:
+            walk, probe = self, other
+        else:
+            walk, probe = other, self
+        owner = probe.probe_table()
         new_clusters: List[List[int]] = []
-        for cluster in self.clusters:
+        for cluster in walk.clusters:
             sub_groups: Dict[int, List[int]] = {}
             for position in cluster:
                 other_id = owner[position]
@@ -148,27 +190,22 @@ class StrippedPartition:
         Using the classical identity: the maximal satisfying subrelation keeps,
         for every LHS group, the largest sub-group that agrees on the RHS.
         """
+        self._check_compatible(joint, "compute the g3 error from")
         if self.num_rows == 0:
             return 0.0
-        # Map positions to the size of their joint cluster (1 for singletons).
-        joint_cluster_size = [1] * self.num_rows
-        joint_cluster_id = [-1] * self.num_rows
-        for cluster_id, cluster in enumerate(joint.clusters):
-            for position in cluster:
-                joint_cluster_size[position] = len(cluster)
-                joint_cluster_id[position] = cluster_id
+        joint_owner = joint.probe_table()
+        joint_sizes = [len(cluster) for cluster in joint.clusters]
         kept = 0
         covered = 0
         for cluster in self.clusters:
             best = 1
-            seen: Dict[int, int] = {}
             for position in cluster:
-                cluster_id = joint_cluster_id[position]
+                cluster_id = joint_owner[position]
                 if cluster_id == -1:
                     continue
-                seen[cluster_id] = joint_cluster_size[position]
-            if seen:
-                best = max(best, max(seen.values()))
+                size = joint_sizes[cluster_id]
+                if size > best:
+                    best = size
             kept += best
             covered += len(cluster)
         # Rows outside any LHS cluster are singletons on the LHS and always kept.

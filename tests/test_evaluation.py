@@ -1,17 +1,23 @@
 """Tests of the ranking metrics and the parallel evaluation harness."""
 
+import math
+
 import pytest
 
+from repro.core import registry
 from repro.evaluation import (
     MeasureConfig,
+    TableScore,
     evaluate_benchmark,
     evaluate_specs,
     normalized_rank_at_max_recall,
     pr_auc,
     precision_recall_points,
     rank_at_max_recall,
+    ranking_summary,
     separation,
 )
+from repro.evaluation.harness import EvaluationResult
 from repro.synthetic import benchmark_specs, build_err_benchmark
 
 FAST_CONFIG = MeasureConfig(expectation="monte-carlo", mc_samples=20)
@@ -79,6 +85,86 @@ def test_normalized_rank_at_max_recall():
 def test_separation_sign_reflects_separability():
     assert separation([1, 1, 0, 0], [0.9, 0.8, 0.7, 0.6]) == pytest.approx(0.1)
     assert separation([1, 0, 1, 0], [0.9, 0.8, 0.7, 0.6]) == pytest.approx(-0.1)
+
+
+# ----------------------------------------------------------------------
+# NaN-safe ranking summaries on degenerate label sets
+# ----------------------------------------------------------------------
+def test_ranking_summary_on_mixed_labels_matches_strict_metrics():
+    labels, scores = [1, 0, 1, 0], [0.9, 0.8, 0.7, 0.6]
+    summary = ranking_summary(labels, scores)
+    assert summary["pr_auc"] == pytest.approx(pr_auc(labels, scores))
+    assert summary["rank_at_max_recall"] == rank_at_max_recall(labels, scores)
+    assert summary["separation"] == pytest.approx(separation(labels, scores))
+
+
+def test_ranking_summary_all_negative_is_nan_not_a_crash():
+    summary = ranking_summary([0, 0, 0], [0.9, 0.5, 0.1])
+    for metric in (
+        "pr_auc",
+        "rank_at_max_recall",
+        "normalized_rank_at_max_recall",
+        "separation",
+    ):
+        assert math.isnan(summary[metric]), metric
+
+
+def test_ranking_summary_all_positive_keeps_defined_metrics():
+    summary = ranking_summary([1, 1, 1], [0.9, 0.5, 0.1])
+    assert summary["pr_auc"] == pytest.approx(1.0)
+    assert summary["rank_at_max_recall"] == 3.0
+    assert math.isnan(summary["separation"])  # no negative to separate from
+
+
+def _degenerate_result(positive):
+    rows = [
+        TableScore(
+            table=f"t{index}",
+            benchmark="DEGEN",
+            step=0,
+            index=index,
+            positive=positive,
+            parameter_value=0.0,
+            num_rows=10,
+            statistics_seconds=0.0,
+            scores={"g3": 0.5 + 0.1 * index},
+            runtimes={"g3": 0.001},
+        )
+        for index in range(3)
+    ]
+    return EvaluationResult(
+        benchmark="DEGEN", parameter_name="none", measure_names=["g3"], rows=rows
+    )
+
+
+@pytest.mark.parametrize("positive", [True, False])
+def test_summary_of_degenerate_benchmark_does_not_raise(positive):
+    summary = _degenerate_result(positive).summary()
+    entry = summary["g3"]
+    assert math.isnan(entry["separation"])
+    if positive:
+        assert entry["pr_auc"] == pytest.approx(1.0)
+    else:
+        assert math.isnan(entry["pr_auc"])
+    assert entry["total_seconds"] == pytest.approx(0.003)
+
+
+# ----------------------------------------------------------------------
+# Extra-measure registry accessor (worker-initializer contract)
+# ----------------------------------------------------------------------
+def test_extra_measure_factories_returns_a_snapshot():
+    def factory():  # pragma: no cover - never built
+        raise AssertionError
+
+    registry.register_measure("extra_test_measure", factory)
+    try:
+        snapshot = registry.extra_measure_factories()
+        assert snapshot["extra_test_measure"] is factory
+        snapshot.pop("extra_test_measure")  # mutating the copy...
+        assert "extra_test_measure" in registry.extra_measure_factories()  # ...is isolated
+    finally:
+        registry.unregister_measure("extra_test_measure")
+    assert "extra_test_measure" not in registry.extra_measure_factories()
 
 
 # ----------------------------------------------------------------------

@@ -7,9 +7,11 @@ import pytest
 
 from repro.core.registry import MEASURE_ORDER
 from repro.experiments import (
+    DiscoveryConfig,
     PropertiesConfig,
     RwdeConfig,
     SensitivityConfig,
+    run_discovery,
     run_properties,
     run_rwde,
     run_sensitivity,
@@ -69,6 +71,45 @@ def test_run_rwde_grid(tmp_path):
     with (tmp_path / "rwde" / "summary.csv").open() as handle:
         rows = list(csv.DictReader(handle))
     assert len(rows) == 14
+
+
+def test_run_discovery_lattice_mode(tmp_path):
+    config = DiscoveryConfig(
+        datasets=("R1",), num_rows=150, max_lhs_size=2, mc_samples=20
+    )
+    payload = run_discovery(config, output_dir=str(tmp_path))
+    assert len(payload["relations"]) == 1
+    entry = payload["relations"][0]
+    assert entry["key"] == "R1"
+    assert entry["statistics_computed"] < entry["brute_force_statistics"]
+    assert entry["pruned_exact"] + entry["pruned_key"] > 0
+    assert set(entry["measures"]) == set(MEASURE_ORDER)
+    summary = json.loads((tmp_path / "discovery" / "summary.json").read_text())
+    assert summary["config"]["max_lhs_size"] == 2
+    with (tmp_path / "discovery" / "summary.csv").open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 14
+    assert {row["measure"] for row in rows} == set(MEASURE_ORDER)
+
+
+def test_cli_discovery_benchmark(tmp_path):
+    exit_code = main(
+        [
+            "--benchmark",
+            "discovery",
+            "--discovery-num-rows",
+            "150",
+            "--max-lhs-size",
+            "2",
+            "--mc-samples",
+            "20",
+            "--output-dir",
+            str(tmp_path),
+        ]
+    )
+    assert exit_code == 0
+    summary = json.loads((tmp_path / "discovery" / "summary.json").read_text())
+    assert len(summary["relations"]) == 5
 
 
 def test_run_properties_static_consistency(tmp_path):

@@ -1,0 +1,153 @@
+"""Tests of the stripped-partition substrate (PLI algebra)."""
+
+import random
+
+import pytest
+
+from repro.core import FdStatistics
+from repro.core.violation import G3Measure
+from repro.relation import FunctionalDependency, Relation
+from repro.relation.partition import StrippedPartition, partition_for
+
+RELATION = Relation(
+    ["a", "b", "c"],
+    [
+        (1, "x", "p"),
+        (1, "x", "p"),
+        (1, "y", "q"),
+        (2, "y", "q"),
+        (2, "y", "q"),
+        (3, "z", "q"),
+    ],
+    name="partition-demo",
+)
+
+
+def random_relation(seed, num_rows=40, attributes=("a", "b", "c", "d"), null_rate=0.0):
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(num_rows):
+        row = []
+        for position in range(len(attributes)):
+            if null_rate and rng.random() < null_rate:
+                row.append(None)
+            else:
+                row.append(rng.randint(0, 2 + position))
+        rows.append(tuple(row))
+    return Relation(attributes, rows, name=f"random-{seed}")
+
+
+# ----------------------------------------------------------------------
+# Size-mismatch guards
+# ----------------------------------------------------------------------
+def test_refines_rejects_partitions_over_different_relation_sizes():
+    smaller = partition_for(RELATION, "a")
+    bigger = StrippedPartition(RELATION.num_rows + 4, [(0, 1, 2, 3, 4, 5, 6)], ("x",))
+    with pytest.raises(ValueError):
+        smaller.refines(bigger)
+    with pytest.raises(ValueError):
+        bigger.refines(smaller)
+
+
+def test_intersect_rejects_partitions_over_different_relation_sizes():
+    smaller = partition_for(RELATION, "a")
+    bigger = StrippedPartition(RELATION.num_rows + 1, [(0, 1)], ("x",))
+    with pytest.raises(ValueError):
+        smaller.intersect(bigger)
+
+
+def test_g3_error_rejects_partitions_over_different_relation_sizes():
+    smaller = partition_for(RELATION, "a")
+    bigger = StrippedPartition(RELATION.num_rows + 1, [(0, 1)], ("x",))
+    with pytest.raises(ValueError):
+        smaller.g3_error(bigger)
+
+
+# ----------------------------------------------------------------------
+# Partition algebra
+# ----------------------------------------------------------------------
+def test_intersect_matches_direct_computation_and_is_symmetric():
+    for seed in range(5):
+        relation = random_relation(seed)
+        pi_a = partition_for(relation, "a")
+        pi_b = partition_for(relation, "b")
+        direct = partition_for(relation, ["a", "b"])
+        product = pi_a.intersect(pi_b)
+        mirrored = pi_b.intersect(pi_a)
+        assert product.clusters == direct.clusters
+        assert mirrored.clusters == direct.clusters
+        assert product.attributes == direct.attributes
+
+
+def test_intersect_chain_builds_level_three_partition():
+    relation = random_relation(11)
+    chained = (
+        partition_for(relation, "a")
+        .intersect(partition_for(relation, "b"))
+        .intersect(partition_for(relation, "c"))
+    )
+    direct = partition_for(relation, ["a", "b", "c"])
+    assert chained.clusters == direct.clusters
+
+
+def test_probe_table_is_cached_and_consistent():
+    partition = partition_for(RELATION, "a")
+    table = partition.probe_table()
+    assert table is partition.probe_table()  # built once, reused
+    for cluster_id, cluster in enumerate(partition.clusters):
+        for position in cluster:
+            assert table[position] == cluster_id
+    stripped = set(range(RELATION.num_rows)) - {
+        position for cluster in partition.clusters for position in cluster
+    }
+    assert all(table[position] == -1 for position in stripped)
+
+
+def test_error_and_key_detection():
+    assert partition_for(RELATION, "a").error() == pytest.approx(
+        (6 - 3) / 6
+    )  # clusters {1,1},{2,2} sizes 3+2, plus singleton 3
+    key = Relation(["id"], [(1,), (2,), (3,)])
+    partition = partition_for(key, "id")
+    assert partition.error() == 0.0
+    assert partition.is_key()
+
+
+# ----------------------------------------------------------------------
+# g3 from partitions vs g3 from statistics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("lhs", [("a",), ("a", "b"), ("a", "b", "c")])
+def test_g3_error_matches_statistics_on_multi_attribute_lhs(lhs):
+    """Partition ``g3_error`` must equal ``1 - g3`` from FdStatistics."""
+    measure = G3Measure()
+    for seed in range(8):
+        relation = random_relation(seed)
+        fd = FunctionalDependency(lhs, "d")
+        statistics = FdStatistics.compute(relation, fd)
+        g3_score = measure.score_from_statistics(statistics)
+        pi_lhs = partition_for(relation, lhs)
+        pi_joint = partition_for(relation, lhs + ("d",))
+        assert pi_lhs.g3_error(pi_joint) == pytest.approx(1.0 - g3_score, abs=1e-12)
+
+
+def test_g3_error_diverges_from_statistics_under_nulls():
+    """Partitions treat NULL as a value; the paper's semantics drop the row.
+
+    This asymmetry is exactly why discovery must fall through to the
+    statistics path for candidates touching NULL attributes.
+    """
+    relation = Relation(
+        ["a", "b"],
+        [(1, "x"), (1, "y"), (1, None), (2, "z"), (2, "z")],
+    )
+    fd = FunctionalDependency("a", "b")
+    statistics = FdStatistics.compute(relation, fd)
+    stats_error = 1.0 - G3Measure().score_from_statistics(statistics)
+    partition_error = partition_for(relation, "a").g3_error(
+        partition_for(relation, ["a", "b"])
+    )
+    # 4 non-NULL rows, one removal needed: stats error 1/4; partitions keep
+    # the NULL row and need 2 removals out of 5.
+    assert stats_error == pytest.approx(0.25)
+    assert partition_error == pytest.approx(0.4)
+    assert stats_error != partition_error
