@@ -13,6 +13,12 @@ property catalogue.
 """
 
 from repro.core.base import AfdMeasure, MeasureClass
+from repro.core.backends import (
+    available_backends,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.core.statistics import FdStatistics
 from repro.core.violation import G2Measure, G3Measure, G3PrimeMeasure, RhoMeasure
 from repro.core.logical import (
@@ -58,9 +64,13 @@ __all__ = [
     "SfiMeasure",
     "TauMeasure",
     "all_measures",
+    "available_backends",
     "default_measures",
+    "get_default_backend",
     "get_measure",
     "measure_names",
     "measures_by_class",
     "property_table",
+    "resolve_backend",
+    "set_default_backend",
 ]

@@ -1,0 +1,276 @@
+"""Pluggable statistics backends.
+
+The sufficient-statistics pass (:meth:`FdStatistics.compute`) is the hot
+loop of every experiment in the paper: the 50x50 sensitivity grids, the
+RWDe sweep, lattice discovery and — most directly — the runtime
+experiment of Table V all compute one :class:`FdStatistics` per candidate
+FD.  This module makes that pass pluggable:
+
+* :class:`PythonBackend` (``"python"``) — the portable reference path:
+  row scans into ``Counter``s, no dependencies, always available.
+* :class:`NumpyBackend` (``"numpy"``) — the vectorised path: NULL
+  restriction, row packing and grouping are array operations over the
+  relation's cached columnar view (:mod:`repro.relation.columnar`), and
+  the integer statistics (squared tuple counts, violating pair/tuple
+  counts, ``max_subrelation_size``) plus the ``Σ p²`` probability sums
+  are derived vectorised and pre-seeded into the statistics cache.
+
+**Bit-identity contract.**  Both backends produce *identical*
+``FdStatistics`` — the same counts under the same keys in the same
+``Counter`` insertion order (first occurrence in row order) — and every
+floating-point derivation either runs in shared scalar code over that
+shared order, or (for the vectorised ``Σ p²`` sums) reproduces the
+scalar path exactly: elementwise IEEE division/multiplication followed
+by a sequential ``cumsum`` reduction, which bit-matches the scalar
+left-to-right accumulation.  Integer statistics are exact in both paths
+(arbitrary-precision ``int`` vs ``int64``).  Consequently every measure
+scores bit-identically on both backends — enforced by the parity
+property tests in ``tests/test_backends.py``.  This is also why the
+Shannon entropies and the permutation expectation remain shared scalar
+code: ``np.log`` and ``math.log`` may differ in the last ulp, and those
+reductions operate on the already-reduced distinct-count arrays
+(O(distinct), not O(rows)), so vectorising them would trade the
+bit-identity guarantee for a negligible win.
+
+Backend selection (first match wins):
+
+1. the explicit ``backend=`` argument of :meth:`FdStatistics.compute`;
+2. the process-wide default set via :func:`set_default_backend`;
+3. the ``REPRO_STATS_BACKEND`` environment variable;
+4. ``"auto"``: ``numpy`` when importable, else ``python``.
+
+Requesting ``numpy`` when numpy is absent falls back to ``python``
+automatically — scores are identical either way, only slower.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.core.statistics import FdStatistics
+from repro.relation.fd import FunctionalDependency
+from repro.relation.operations import joint_counts
+from repro.relation.relation import Relation
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Environment variable overriding the default backend.
+BACKEND_ENV_VAR = "REPRO_STATS_BACKEND"
+
+_BACKEND_NAMES = ("python", "numpy")
+
+#: Process-wide default set via :func:`set_default_backend` (None = unset).
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+class PythonBackend:
+    """Counter-based reference backend (always available)."""
+
+    name = "python"
+
+    @staticmethod
+    def available() -> bool:
+        return True
+
+    def compute(self, relation: Relation, fd: FunctionalDependency) -> FdStatistics:
+        restricted = relation.drop_nulls(fd.attributes)
+        return FdStatistics.from_joint_counts(
+            fd,
+            restricted.num_rows,
+            joint_counts(restricted, fd.lhs, fd.rhs),
+            restricted.frequencies(),
+            relation_name=relation.name,
+        )
+
+
+class NumpyBackend:
+    """Vectorised backend over the relation's cached columnar view."""
+
+    name = "numpy"
+
+    @staticmethod
+    def available() -> bool:
+        return np is not None
+
+    def compute(self, relation: Relation, fd: FunctionalDependency) -> FdStatistics:
+        columnar = relation.columnar()
+        if columnar is None:  # pragma: no cover - numpy vanished mid-process
+            return PythonBackend().compute(relation, fd)
+        rows = relation._rows
+        lhs, rhs = fd.lhs, fd.rhs
+
+        # NULL restriction as a boolean mask (None = nothing to drop).
+        mask = columnar.non_null_mask(fd.attributes)
+        row_indices = np.flatnonzero(mask) if mask is not None else None
+        num_rows = int(row_indices.shape[0]) if row_indices is not None else relation.num_rows
+
+        # Group-bys: X, Y, their pair, and the full tuple — all in
+        # first-occurrence order over the restricted rows, mirroring the
+        # Counter insertion order of the python backend.
+        x_groups = columnar.grouped(lhs, mask)
+        y_groups = columnar.grouped(rhs, mask)
+        xy_groups = columnar.group_pair(x_groups, y_groups)
+        w_groups = columnar.grouped(relation.attributes, mask)
+
+        # Rebuild the value-tuple keys — O(1) Python work per *group*
+        # (not per row) via each group's first-occurrence row.
+        x_keys = _group_keys(columnar, rows, lhs, x_groups)
+        y_keys = _group_keys(columnar, rows, rhs, y_groups)
+
+        # Per-xy-group parent ids: index the dense X/Y codes at each xy
+        # group's first selection-local position.
+        xy_counts_array = xy_groups.counts
+        x_of_xy = x_groups.codes[xy_groups.first_rows]
+        y_of_xy = y_groups.codes[xy_groups.first_rows]
+
+        xy_counter: Counter = Counter()
+        for x_id, y_id, count in zip(
+            x_of_xy.tolist(), y_of_xy.tolist(), xy_counts_array.tolist()
+        ):
+            xy_counter[(x_keys[x_id], y_keys[y_id])] = count
+
+        full_counter: Counter = Counter()
+        for row_index, count in zip(w_groups.first_rows.tolist(), w_groups.counts.tolist()):
+            full_counter[rows[row_index]] = count
+
+        statistics = FdStatistics.from_joint_counts(
+            fd, num_rows, xy_counter, full_counter, relation_name=relation.name
+        )
+        _seed_vectorised_statistics(
+            statistics,
+            num_rows,
+            x_counts=x_groups.counts,
+            y_counts=y_groups.counts,
+            xy_counts=xy_counts_array,
+            x_of_xy=x_of_xy,
+            w_counts=w_groups.counts,
+        )
+        return statistics
+
+
+def _group_keys(columnar, rows, attributes: Tuple[str, ...], groups) -> List[Tuple]:
+    """Value tuples of each group, in dense group-id order."""
+    if len(attributes) == 1:
+        attribute_index = columnar.attributes.index(attributes[0])
+        return [(rows[r][attribute_index],) for r in groups.first_rows.tolist()]
+    indices = [columnar.attributes.index(attribute) for attribute in attributes]
+    return [tuple(rows[r][i] for i in indices) for r in groups.first_rows.tolist()]
+
+
+def _sequential_sum(values: "np.ndarray") -> float:
+    """Left-to-right float sum, bit-matching a scalar accumulation loop.
+
+    ``cumsum`` materialises every prefix sum and is therefore necessarily
+    a sequential reduction — unlike ``np.sum``, whose pairwise reduction
+    rounds differently from the scalar code it would stand in for.
+    """
+    if values.shape[0] == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+def _seed_vectorised_statistics(
+    statistics: FdStatistics,
+    num_rows: int,
+    x_counts: "np.ndarray",
+    y_counts: "np.ndarray",
+    xy_counts: "np.ndarray",
+    x_of_xy: "np.ndarray",
+    w_counts: "np.ndarray",
+) -> None:
+    """Eagerly derive the vectorisable statistics and seed the cache.
+
+    Integer quantities are exact (``int64`` — overflow-safe for every
+    relation below ~3e9 rows, far beyond the 2**53 float ceiling the
+    cache used to impose); the ``Σ p²`` float sums reproduce the scalar
+    path bit-for-bit (see the module docstring).
+    """
+    cache = statistics._cache
+    w = w_counts.astype(np.int64)
+    cache["sum_sq_w"] = int((w * w).sum())
+
+    counts = xy_counts.astype(np.int64)
+    num_x_groups = x_counts.shape[0]
+    totals = np.zeros(num_x_groups, dtype=np.int64)
+    np.add.at(totals, x_of_xy, counts)
+    squares = np.zeros(num_x_groups, dtype=np.int64)
+    np.add.at(squares, x_of_xy, counts * counts)
+    distinct_y_per_x = np.bincount(x_of_xy, minlength=num_x_groups)
+    maxima = np.zeros(num_x_groups, dtype=np.int64)
+    np.maximum.at(maxima, x_of_xy, counts)
+
+    cache["violating_pairs"] = int((totals * totals - squares).sum())
+    cache["violating_tuples"] = int(totals[distinct_y_per_x > 1].sum())
+    cache["max_subrelation"] = int(maxima.sum())
+
+    if num_rows > 0:
+        for key, array in (
+            ("sum_sq_x", x_counts),
+            ("sum_sq_y", y_counts),
+            ("sum_sq_xy", counts),
+        ):
+            probabilities = array / num_rows
+            cache[key] = _sequential_sum(probabilities * probabilities)
+
+
+_BACKENDS = {
+    "python": PythonBackend(),
+    "numpy": NumpyBackend(),
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends usable in this process, ``python`` first."""
+    return tuple(name for name in _BACKEND_NAMES if _BACKENDS[name].available())
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set the process-wide default backend (``None`` resets to auto).
+
+    The default applies to every :meth:`FdStatistics.compute` call that
+    does not pass an explicit ``backend=``; it takes precedence over the
+    ``REPRO_STATS_BACKEND`` environment variable.
+    """
+    global _DEFAULT_BACKEND
+    if name is not None:
+        _validate_name(name)
+    _DEFAULT_BACKEND = name
+
+
+def get_default_backend() -> str:
+    """The backend name :func:`resolve_backend` would pick with no argument."""
+    return resolve_backend(None).name
+
+
+def _validate_name(name: str) -> None:
+    if name not in _BACKEND_NAMES and name != "auto":
+        raise ValueError(
+            f"unknown statistics backend {name!r}; "
+            f"known backends: {list(_BACKEND_NAMES) + ['auto']}"
+        )
+
+
+def resolve_backend(name: Optional[str] = None):
+    """Resolve a backend name (or ``None``/``"auto"``) to a backend object.
+
+    Resolution order: explicit argument > :func:`set_default_backend` >
+    ``REPRO_STATS_BACKEND`` > auto (numpy when available).  A resolved
+    ``numpy`` request degrades to ``python`` when numpy is absent — the
+    documented automatic fallback; scores are identical either way.
+    """
+    if name is None:
+        name = _DEFAULT_BACKEND
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    _validate_name(name)
+    if name == "auto":
+        name = "numpy" if _BACKENDS["numpy"].available() else "python"
+    backend = _BACKENDS[name]
+    if not backend.available():
+        return _BACKENDS["python"]
+    return backend

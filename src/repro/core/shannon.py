@@ -11,13 +11,27 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.base import AfdMeasure, MeasureClass
 from repro.core.expectations import expected_fraction_of_information
 from repro.core.smoothing import smoothed_joint_counts
 from repro.core.statistics import FdStatistics
-from repro.info.shannon import DEFAULT_LOG_BASE, entropy_of_counts
+
+# The canonical entropy helpers live in :mod:`repro.info.shannon`; a
+# parallel implementation used to be kept here.  Deprecated: import
+# ``DEFAULT_LOG_BASE`` / ``entropy_of_counts`` / ``conditional_entropy``
+# / ``mutual_information`` from ``repro.info.shannon`` directly — these
+# re-exports remain only for backwards compatibility and will be removed.
+from repro.info.shannon import (  # noqa: F401
+    DEFAULT_LOG_BASE,
+    conditional_entropy,
+    entropy_of_counts,
+    mutual_information,
+)
+
+try:  # numpy is only needed for the Monte-Carlo expectation's RNG
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 
 class GS1Measure(AfdMeasure):
@@ -95,7 +109,14 @@ class _PermutationCorrectedMeasure(AfdMeasure):
         # statistics object.  The Monte-Carlo estimator reseeds per call,
         # which keeps the cached value deterministic.
         def compute() -> float:
-            rng = None if self.seed is None else np.random.default_rng(self.seed)
+            rng = None
+            if self.expectation == "monte-carlo" and self.seed is not None:
+                if np is None:
+                    raise ImportError(
+                        "the monte-carlo permutation expectation requires numpy; "
+                        "use expectation='exact' or install numpy"
+                    )
+                rng = np.random.default_rng(self.seed)
             return expected_fraction_of_information(
                 statistics, method=self.expectation, samples=self.samples, rng=rng
             )

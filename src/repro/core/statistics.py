@@ -7,16 +7,23 @@ the normalised g1 variant) of full tuples ``w``.  :class:`FdStatistics`
 computes this once so that scoring all measures on the same candidate FD
 shares the work, which is also how the runtime experiment (Table V of the
 paper) is structured.
+
+*How* the count structures are computed is delegated to a pluggable
+backend (:mod:`repro.core.backends`): the portable ``python`` backend
+scans rows into ``Counter``s, the ``numpy`` backend group-bys
+dictionary-encoded code arrays (:mod:`repro.relation.columnar`).  Both
+produce bit-identical statistics — including ``Counter`` insertion order,
+on which the floating-point summation order (and hence bit-identical
+scores) depends.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.relation.fd import FunctionalDependency
-from repro.relation.operations import group_counts, joint_counts
 from repro.relation.relation import Relation
 
 
@@ -27,6 +34,13 @@ class FdStatistics:
     All counts are computed on the subrelation of tuples that are non-NULL
     on every attribute of ``X ∪ Y`` (the paper's NULL convention,
     Section VI-A).
+
+    Derived quantities are cached in ``_cache``; integer quantities are
+    cached as Python ``int`` (never round-tripped through ``float``, so
+    counts above 2**53 keep exact precision), probabilities and entropies
+    as ``float``.  Backends may pre-seed the cache with eagerly computed
+    values as long as they are bit-identical to what the lazy paths below
+    would produce.
     """
 
     fd: FunctionalDependency
@@ -37,30 +51,63 @@ class FdStatistics:
     groups: Dict[Tuple, Counter]
     full_tuple_counts: Counter
     relation_name: str = ""
-    _cache: Dict[str, float] = field(default_factory=dict, repr=False)
+    _cache: Dict[str, Union[int, float]] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def compute(cls, relation: Relation, fd: FunctionalDependency) -> "FdStatistics":
-        """Compute statistics of ``fd`` on ``relation`` (NULLs dropped)."""
-        restricted = relation.drop_nulls(fd.attributes)
-        xy = joint_counts(restricted, fd.lhs, fd.rhs)
+    def compute(
+        cls,
+        relation: Relation,
+        fd: FunctionalDependency,
+        backend: Optional[str] = None,
+    ) -> "FdStatistics":
+        """Compute statistics of ``fd`` on ``relation`` (NULLs dropped).
+
+        ``backend`` selects the computation engine: ``"python"``,
+        ``"numpy"`` or ``"auto"``/``None`` (the process default — see
+        :func:`repro.core.backends.set_default_backend` and the
+        ``REPRO_STATS_BACKEND`` environment variable).  Scores derived
+        from the result are bit-identical across backends.
+        """
+        from repro.core.backends import resolve_backend
+
+        return resolve_backend(backend).compute(relation, fd)
+
+    @classmethod
+    def from_joint_counts(
+        cls,
+        fd: FunctionalDependency,
+        num_rows: int,
+        xy_counts: Counter,
+        full_tuple_counts: Counter,
+        relation_name: str = "",
+    ) -> "FdStatistics":
+        """Assemble statistics from joint ``(x, y)`` and full-tuple counts.
+
+        The marginals and the per-``x`` group structure are derived here,
+        in one pass over ``xy_counts`` in its insertion order — both
+        backends funnel through this constructor, which pins down the
+        ``Counter`` insertion orders (and therefore every downstream
+        floating-point summation order) once, for all backends.
+        """
         x_counts: Counter = Counter()
         y_counts: Counter = Counter()
-        for (x, y), count in xy.items():
+        groups: Dict[Tuple, Counter] = {}
+        for (x, y), count in xy_counts.items():
             x_counts[x] += count
             y_counts[y] += count
+            groups.setdefault(x, Counter())[y] += count
         return cls(
             fd=fd,
-            num_rows=restricted.num_rows,
+            num_rows=num_rows,
             x_counts=x_counts,
             y_counts=y_counts,
-            xy_counts=xy,
-            groups=group_counts(restricted, fd.lhs, fd.rhs),
-            full_tuple_counts=restricted.frequencies(),
-            relation_name=relation.name,
+            xy_counts=xy_counts,
+            groups=groups,
+            full_tuple_counts=full_tuple_counts,
+            relation_name=relation_name,
         )
 
     # ------------------------------------------------------------------
@@ -100,7 +147,7 @@ class FdStatistics:
     # ------------------------------------------------------------------
     # Probability building blocks (cached)
     # ------------------------------------------------------------------
-    def _cached(self, key: str, compute) -> float:
+    def _cached(self, key: str, compute):
         value = self._cache.get(key)
         if value is None:
             value = compute()
@@ -109,73 +156,55 @@ class FdStatistics:
 
     def sum_squared_x_probabilities(self) -> float:
         """``Σ_x p(x)²`` (equals ``1 - h_R(X)``)."""
-        return self._cached(
-            "sum_sq_x",
-            lambda: sum((count / self.num_rows) ** 2 for count in self.x_counts.values()),
-        )
+        return self._cached("sum_sq_x", lambda: _sum_squared_probabilities(self.x_counts, self.num_rows))
 
     def sum_squared_y_probabilities(self) -> float:
         """``Σ_y p(y)²`` (equals ``pdep(Y, R) = 1 - h_R(Y)``)."""
-        return self._cached(
-            "sum_sq_y",
-            lambda: sum((count / self.num_rows) ** 2 for count in self.y_counts.values()),
-        )
+        return self._cached("sum_sq_y", lambda: _sum_squared_probabilities(self.y_counts, self.num_rows))
 
     def sum_squared_xy_probabilities(self) -> float:
         """``Σ_{x,y} p(xy)²``."""
-        return self._cached(
-            "sum_sq_xy",
-            lambda: sum((count / self.num_rows) ** 2 for count in self.xy_counts.values()),
-        )
+        return self._cached("sum_sq_xy", lambda: _sum_squared_probabilities(self.xy_counts, self.num_rows))
 
     def sum_squared_tuple_counts(self) -> int:
         """``Σ_w R(w)²`` over full tuples ``w`` of the restricted relation."""
-        return int(
-            self._cached(
-                "sum_sq_w",
-                lambda: float(sum(count**2 for count in self.full_tuple_counts.values())),
-            )
+        return self._cached(
+            "sum_sq_w",
+            lambda: sum(count * count for count in self.full_tuple_counts.values()),
         )
 
     def violating_pair_count(self) -> int:
         """``|G1(X -> Y, R)|``: ordered pairs equal on X but different on Y."""
-        return int(
-            self._cached(
-                "violating_pairs",
-                lambda: float(
-                    sum(
-                        sum(y_counter.values()) ** 2
-                        - sum(count**2 for count in y_counter.values())
-                        for y_counter in self.groups.values()
-                    )
-                ),
-            )
-        )
+
+        def compute() -> int:
+            result = 0
+            for y_counter in self.groups.values():
+                total = 0
+                sum_of_squares = 0
+                for count in y_counter.values():
+                    total += count
+                    sum_of_squares += count * count
+                result += total * total - sum_of_squares
+            return result
+
+        return self._cached("violating_pairs", compute)
 
     def violating_tuple_count(self) -> int:
         """``Σ_{w ∈ G2} R(w)``: tuples participating in at least one violating pair."""
-        return int(
-            self._cached(
-                "violating_tuples",
-                lambda: float(
-                    sum(
-                        sum(y_counter.values())
-                        for y_counter in self.groups.values()
-                        if len(y_counter) > 1
-                    )
-                ),
-            )
+        return self._cached(
+            "violating_tuples",
+            lambda: sum(
+                sum(y_counter.values())
+                for y_counter in self.groups.values()
+                if len(y_counter) > 1
+            ),
         )
 
     def max_subrelation_size(self) -> int:
         """Size of the largest subrelation satisfying the FD (numerator of g3)."""
-        return int(
-            self._cached(
-                "max_subrelation",
-                lambda: float(
-                    sum(max(y_counter.values()) for y_counter in self.groups.values())
-                ),
-            )
+        return self._cached(
+            "max_subrelation",
+            lambda: sum(max(y_counter.values()) for y_counter in self.groups.values()),
         )
 
     # ------------------------------------------------------------------
@@ -223,8 +252,27 @@ class FdStatistics:
             for y_counter in self.groups.values():
                 group_total = sum(y_counter.values())
                 p_x = group_total / self.num_rows
-                within = 1.0 - sum((count / group_total) ** 2 for count in y_counter.values())
-                result += p_x * within
+                sum_of_squares = 0.0
+                for count in y_counter.values():
+                    p = count / group_total
+                    sum_of_squares += p * p
+                result += p_x * (1.0 - sum_of_squares)
             return result
 
         return self._cached("E_h_y_given_x", compute)
+
+
+def _sum_squared_probabilities(counts: Counter, num_rows: int) -> float:
+    """Sequential ``Σ (count / num_rows)²`` over the counter's insertion order.
+
+    The explicit ``p * p`` (rather than ``p ** 2``) and the sequential
+    accumulation are part of the backend bit-identity contract: the numpy
+    backend reproduces exactly this — elementwise division and
+    multiplication followed by a sequential (``cumsum``) reduction over
+    the same order.
+    """
+    result = 0.0
+    for count in counts.values():
+        p = count / num_rows
+        result += p * p
+    return result

@@ -101,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="statistics backend (default: process default; scores are "
+        "bit-identical across backends)",
+    )
+    parser.add_argument(
         "--format",
         choices=("json", "csv"),
         default="json",
@@ -193,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         threshold=args.threshold,
         max_lhs_size=args.max_lhs_size,
         g3_bound=args.g3_bound,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - started
     if args.format == "json":

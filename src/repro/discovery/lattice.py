@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.backends import resolve_backend
 from repro.core.base import AfdMeasure
 from repro.core.registry import all_measures
 from repro.core.statistics import FdStatistics
@@ -146,6 +147,7 @@ def lattice_discover(
     lhs_attributes: Optional[Sequence[str]] = None,
     rhs_attributes: Optional[Sequence[str]] = None,
     g3_bound: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> DiscoveryResult:
     """Score every lattice candidate ``X -> A`` with ``|X| <= max_lhs_size``.
 
@@ -167,6 +169,12 @@ def lattice_discover(
     thresholds = _resolve_thresholds(threshold, measure_names)
     lhs_pool = list(lhs_attributes) if lhs_attributes is not None else list(relation.attributes)
     rhs_pool = list(rhs_attributes) if rhs_attributes is not None else list(relation.attributes)
+    backend_name = resolve_backend(backend).name
+    if backend_name == "numpy":
+        # Build the columnar view up front: the statistics backend needs
+        # it anyway, and once it exists the partition layer derives every
+        # level-1 partition from the cached code arrays too.
+        relation.columnar()
     cache = PartitionCache(relation)
     result = DiscoveryResult(
         relation_name=relation.name,
@@ -210,7 +218,7 @@ def lattice_discover(
                         if 1.0 - lhs_partition.g3_error(joint) < g3_bound:
                             result.pruned_bound += 1
                             continue
-                statistics = FdStatistics.compute(relation, fd)
+                statistics = FdStatistics.compute(relation, fd, backend=backend_name)
                 result.statistics_computed += 1
                 scores = {
                     name: measure.score_from_statistics(statistics)
@@ -237,6 +245,7 @@ def brute_force_afds(
     max_lhs_size: int = 2,
     lhs_attributes: Optional[Sequence[str]] = None,
     rhs_attributes: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> DiscoveryResult:
     """Reference implementation: one statistics pass per lattice candidate.
 
@@ -268,7 +277,7 @@ def brute_force_afds(
                 if rhs in lhs_set:
                     continue
                 fd = FunctionalDependency(lhs, rhs)
-                statistics = FdStatistics.compute(relation, fd)
+                statistics = FdStatistics.compute(relation, fd, backend=backend)
                 result.statistics_computed += 1
                 scores = {
                     name: measure.score_from_statistics(statistics)

@@ -116,6 +116,7 @@ def discover_afds(
     rhs_attributes: Optional[Sequence[str]] = None,
     max_lhs_size: int = 1,
     g3_bound: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> DiscoveryResult:
     """Score all candidates ``X -> A`` of ``relation`` with ``|X| <= max_lhs_size``.
 
@@ -126,6 +127,9 @@ def discover_afds(
     ``g3_bound`` (optional) drops candidates whose partition-computed
     ``g3`` score falls below the bound before any statistics are
     computed; dropped candidates do not appear in the result.
+    ``backend`` selects the statistics backend (``"python"`` /
+    ``"numpy"``; default: the process default) — scores are bit-identical
+    either way.
 
     Scores are bit-identical to brute-force :meth:`FdStatistics.compute`
     scoring of the same candidates for every ``max_lhs_size``.
@@ -140,4 +144,5 @@ def discover_afds(
         lhs_attributes=lhs_attributes,
         rhs_attributes=rhs_attributes,
         g3_bound=g3_bound,
+        backend=backend,
     )

@@ -12,7 +12,7 @@ worker count (``jobs=2`` reproduces ``jobs=1`` exactly), and the laptop
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import registry
@@ -42,7 +42,7 @@ def _score_spec(task: Tuple[TableSpec, MeasureConfig]) -> TableScore:
     table = spec.materialize()
     measures = config.build()
     scores, runtimes, statistics_seconds = score_with_shared_statistics(
-        table.relation, SYNTHETIC_FD, measures
+        table.relation, SYNTHETIC_FD, measures, backend=config.backend
     )
     return TableScore(
         table=spec.name,
@@ -137,15 +137,20 @@ def evaluate_specs(
     config: Optional[MeasureConfig] = None,
     jobs: int = 1,
     chunksize: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> EvaluationResult:
     """Score every registered measure on every spec'd table.
 
     ``jobs > 1`` shards the specs across a process pool; output order and
-    every floating-point score are independent of ``jobs``.
+    every floating-point score are independent of ``jobs`` — and of
+    ``backend``, which selects the statistics engine (``"python"`` /
+    ``"numpy"``) and overrides ``config.backend`` when given.
     """
     if not specs:
         raise ValueError("cannot evaluate an empty spec list")
     config = config if config is not None else MeasureConfig()
+    if backend is not None:
+        config = replace(config, backend=backend)
     tasks = [(spec, config) for spec in specs]
     if jobs <= 1:
         rows = [_score_spec(task) for task in tasks]
@@ -170,6 +175,7 @@ def evaluate_benchmark(
     benchmark: SyntheticBenchmark,
     config: Optional[MeasureConfig] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> EvaluationResult:
     """Evaluate an already-materialised benchmark.
 
@@ -177,15 +183,18 @@ def evaluate_benchmark(
     specs to the workers instead of pickling whole relations.  This eager
     variant exists for benchmarks that were built by other means; it
     scores sequentially (``jobs`` is accepted for interface symmetry but
-    relations are scored in-process).
+    relations are scored in-process).  ``backend`` overrides
+    ``config.backend`` when given.
     """
     del jobs  # materialised relations are scored in-process
     config = config if config is not None else MeasureConfig()
+    if backend is not None:
+        config = replace(config, backend=backend)
     measures = config.build()
     rows: List[TableScore] = []
     for position, table in enumerate(benchmark.tables):
         scores, runtimes, statistics_seconds = score_with_shared_statistics(
-            table.relation, benchmark.fd, measures
+            table.relation, benchmark.fd, measures, backend=config.backend
         )
         rows.append(
             TableScore(

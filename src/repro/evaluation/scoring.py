@@ -27,12 +27,17 @@ class MeasureConfig:
 
     Measure instances are rebuilt from this config in every worker
     process, so the harness never ships live objects across the pool.
+    ``backend`` selects the statistics backend used for the shared
+    sufficient-statistics pass (``None`` = the process default; scores
+    are bit-identical across backends, so the choice only affects
+    runtime).
     """
 
     expectation: str = "exact"
     mc_samples: int = 200
     sfi_alpha: float = 0.5
     seed: Optional[int] = 0
+    backend: Optional[str] = None
 
     def build(self) -> Dict[str, AfdMeasure]:
         return dict(
@@ -70,18 +75,19 @@ def score_with_shared_statistics(
     fd: FunctionalDependency,
     measures: Mapping[str, AfdMeasure],
     statistics: Optional[FdStatistics] = None,
+    backend: Optional[str] = None,
 ) -> tuple:
     """``(scores, runtimes, statistics_seconds)`` for one candidate FD.
 
-    The statistics object (supplied or computed here) is shared across all
-    measures; derived quantities cached on it by one measure are reused by
-    the others, so e.g. RFI+ and RFI'+ pay for the permutation expectation
-    only once.
+    The statistics object (supplied or computed here with the requested
+    ``backend``) is shared across all measures; derived quantities cached
+    on it by one measure are reused by the others, so e.g. RFI+ and
+    RFI'+ pay for the permutation expectation only once.
     """
     statistics_seconds = 0.0
     if statistics is None:
         start = time.perf_counter()
-        statistics = FdStatistics.compute(relation, fd)
+        statistics = FdStatistics.compute(relation, fd, backend=backend)
         statistics_seconds = time.perf_counter() - start
     scores: Dict[str, float] = {}
     runtimes: Dict[str, float] = {}

@@ -26,11 +26,23 @@ from typing import Dict, List, Optional
 from repro.core.registry import paper_label
 from repro.experiments.discovery import DiscoveryConfig, run_discovery
 from repro.experiments.properties import PropertiesConfig, run_properties
+from repro.experiments.runtime import (
+    SMOKE_REPEATS,
+    SMOKE_SIZES,
+    RuntimeConfig,
+    run_runtime,
+)
 from repro.experiments.rwde import RwdeConfig, run_rwde
 from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
 
 SENSITIVITY_BENCHMARKS = ("err", "uniq", "skew")
-BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + ("rwde", "discovery", "properties", "all")
+BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + (
+    "rwde",
+    "discovery",
+    "properties",
+    "runtime",
+    "all",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="statistics backend for every benchmark (default: process default; "
+        "scores are bit-identical across backends).  For --benchmark runtime "
+        "this restricts the compared backend set instead.",
+    )
+    parser.add_argument(
         "--output-dir",
         default="results",
         help="artifact directory (default: results/); use '-' to skip writing",
@@ -127,6 +147,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=400,
         help="rows per RWD relation in the discovery experiment (default: 400)",
     )
+    parser.add_argument(
+        "--runtime-sizes",
+        default="1000,5000,20000",
+        help="comma-separated fixed relation sizes of the runtime benchmark "
+        "(default: 1000,5000,20000)",
+    )
+    parser.add_argument(
+        "--runtime-repeats",
+        type=int,
+        default=5,
+        help="timed repetitions per (relation, backend) cell (default: 5)",
+    )
+    parser.add_argument(
+        "--bench-path",
+        default="BENCH_runtime.json",
+        help="where the runtime benchmark record is written "
+        "(default: BENCH_runtime.json at the repo root; '-' to skip)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke-scale runtime benchmark (small fixed relations, 2 repeats) "
+        "for CI artifact validation",
+    )
     return parser
 
 
@@ -159,6 +203,7 @@ def _run_sensitivity(
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
+        backend=args.backend,
     )
     started = time.perf_counter()
     payload = run_sensitivity(config, output_dir=output_dir)
@@ -184,6 +229,7 @@ def _run_rwde(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
+        backend=args.backend,
     )
     started = time.perf_counter()
     payload = run_rwde(config, output_dir=output_dir)
@@ -210,6 +256,7 @@ def _run_discovery(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
+        backend=args.backend,
     )
     started = time.perf_counter()
     payload = run_discovery(config, output_dir=output_dir)
@@ -240,6 +287,57 @@ def _run_discovery(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         print(f"artifacts: {output_dir}/discovery/{{summary.json,summary.csv}}")
 
 
+def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    if args.smoke:
+        sizes: tuple = SMOKE_SIZES
+        repeats = SMOKE_REPEATS
+    else:
+        sizes = tuple(
+            int(part) for part in args.runtime_sizes.split(",") if part.strip()
+        )
+        repeats = args.runtime_repeats
+    backends: tuple = ()
+    if args.backend is not None and args.backend != "auto":
+        backends = (args.backend,)
+    config = RuntimeConfig(
+        sizes=sizes,
+        backends=backends,
+        repeats=repeats,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    bench_path = None if args.bench_path == "-" else args.bench_path
+    started = time.perf_counter()
+    payload = run_runtime(config, output_dir=output_dir, bench_path=bench_path)
+    elapsed = time.perf_counter() - started
+    print(f"\nRuntime benchmark (Table V protocol, {elapsed:.1f}s)")
+    header = f"{'relation':<16} {'backend':<8} {'stats ms':>9} {'total ms':>9}"
+    print(header)
+    print("-" * len(header))
+    for entry in payload["relations"]:  # type: ignore[union-attr]
+        for backend, cell in entry["backends"].items():
+            print(
+                f"{entry['name']:<16} {backend:<8} "
+                f"{cell['statistics_seconds_median'] * 1000:>9.2f} "
+                f"{cell['total_seconds_median'] * 1000:>9.2f}"
+            )
+        if entry["statistics_speedup"] is not None:
+            print(
+                f"{'':<16} speedup: statistics {entry['statistics_speedup']:.1f}x, "
+                f"total {entry['total_speedup']:.1f}x"
+            )
+    if payload["speedup"] is not None:
+        print(
+            f"largest relation statistics speedup (python/numpy): "
+            f"{payload['speedup']:.1f}x"
+        )
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/runtime/{{summary.json,summary.csv}}")
+    if bench_path is not None:
+        print(f"benchmark record: {bench_path}")
+
+
 def _run_properties(
     args: argparse.Namespace,
     output_dir: Optional[str],
@@ -255,6 +353,7 @@ def _run_properties(
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
+        backend=args.backend,
     )
     started = time.perf_counter()
     payload = run_properties(config, output_dir=output_dir, precomputed_curves=precomputed_curves)
@@ -281,6 +380,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_rwde(args, output_dir)
     elif args.benchmark == "discovery":
         _run_discovery(args, output_dir)
+    elif args.benchmark == "runtime":
+        _run_runtime(args, output_dir)
     elif args.benchmark == "properties":
         _run_properties(args, output_dir)
     else:  # all

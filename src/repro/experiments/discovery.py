@@ -45,6 +45,7 @@ class DiscoveryConfig:
     mc_samples: int = 100
     sfi_alpha: float = 0.5
     measure_seed: int = 0
+    backend: Optional[str] = None
 
     def measure_config(self) -> MeasureConfig:
         return MeasureConfig(
@@ -52,6 +53,7 @@ class DiscoveryConfig:
             mc_samples=self.mc_samples,
             sfi_alpha=self.sfi_alpha,
             seed=self.measure_seed,
+            backend=self.backend,
         )
 
 
@@ -65,6 +67,7 @@ def _run_relation(rwd, config: DiscoveryConfig, measures) -> Dict[str, object]:
         threshold=config.threshold,
         max_lhs_size=config.max_lhs_size,
         g3_bound=config.g3_bound,
+        backend=config.backend,
     )
     measure_names = result.measure_names
     labels: List[int] = []

@@ -51,6 +51,7 @@ class PropertiesConfig:
     mc_samples: int = 100
     sfi_alpha: float = 0.5
     measure_seed: int = 0
+    backend: Optional[str] = None
 
     def measure_config(self) -> MeasureConfig:
         return MeasureConfig(
@@ -58,6 +59,7 @@ class PropertiesConfig:
             mc_samples=self.mc_samples,
             sfi_alpha=self.sfi_alpha,
             seed=self.measure_seed,
+            backend=self.backend,
         )
 
 

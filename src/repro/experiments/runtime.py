@@ -1,0 +1,257 @@
+"""Driver for the runtime experiment (Table V).
+
+The paper's Table V reports per-measure runtimes on fixed relations,
+under the cost discipline the whole study is built on: one sufficient-
+statistics pass per candidate FD, shared by all fourteen measures.  This
+driver reproduces that protocol and doubles as the benchmark harness for
+the pluggable statistics backends (:mod:`repro.core.backends`):
+
+* **fixed relations** — one deterministic B+ relation per configured
+  size (fixed generation parameters, fixed seed), so runs are comparable
+  across machines and across PRs;
+* **warm-up discipline** — per (relation, backend) the full
+  statistics+scoring pass runs untimed ``warmup_runs`` times first; the
+  warm-up also pays one-off costs (the columnar dictionary encoding of
+  the numpy backend, allocator warm-up) exactly once, outside the timed
+  window;
+* **medians** — each timed quantity (the statistics pass, every
+  measure's scoring time, their total) is the median over ``repeats``
+  timed runs, the robust choice for wall-clock on shared hardware.
+
+Artifacts: ``summary.json`` + ``summary.csv`` under
+``<output_dir>/runtime/`` and a compact ``BENCH_runtime.json`` at the
+repository root recording the per-backend medians and the
+python-over-numpy speedups, so the performance trajectory of the
+statistics substrate is tracked in-repo.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.backends import available_backends
+from repro.evaluation.scoring import MeasureConfig, score_with_shared_statistics
+from repro.experiments.io import ensure_directory, write_csv, write_json
+from repro.synthetic.generator import (
+    SYNTHETIC_FD,
+    GenerationParameters,
+    generate_positive_relation,
+)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that determines one runtime benchmark run.
+
+    ``sizes`` are the row counts of the fixed relations (ascending; the
+    last one is "the largest fixed relation" the speedup headline is
+    reported for).  ``backends`` restricts the backend set (default:
+    every backend available in the process).  The default expectation is
+    Monte-Carlo: the exact hypergeometric expectation is Table V's
+    documented pain point and would dominate the wall-clock of every
+    backend equally, drowning the statistics-pass comparison this
+    benchmark exists to track.
+    """
+
+    sizes: Tuple[int, ...] = (1_000, 5_000, 20_000)
+    backends: Tuple[str, ...] = ()
+    repeats: int = 5
+    warmup_runs: int = 1
+    seed: int = 97
+    expectation: str = "monte-carlo"
+    mc_samples: int = 50
+    sfi_alpha: float = 0.5
+    measure_seed: int = 0
+
+    def resolved_backends(self) -> Tuple[str, ...]:
+        chosen = self.backends if self.backends else available_backends()
+        missing = [name for name in chosen if name not in available_backends()]
+        if missing:
+            raise ValueError(
+                f"backends {missing} are not available in this process "
+                f"(available: {list(available_backends())})"
+            )
+        return tuple(chosen)
+
+    def measure_config(self, backend: str) -> MeasureConfig:
+        return MeasureConfig(
+            expectation=self.expectation,
+            mc_samples=self.mc_samples,
+            sfi_alpha=self.sfi_alpha,
+            seed=self.measure_seed,
+            backend=backend,
+        )
+
+
+#: Smoke-scale override used by ``--smoke`` (CI): small fixed relations,
+#: fewer repeats — same code path, same artifact schema.
+SMOKE_SIZES: Tuple[int, ...] = (500, 2_000)
+SMOKE_REPEATS = 2
+
+
+def fixed_relation_parameters(num_rows: int) -> GenerationParameters:
+    """The fixed generation parameters of the size-``num_rows`` relation.
+
+    Low-cardinality LHS/RHS domains (the RWD regime) with mild skew and a
+    1% error channel: the FD is approximate, every measure takes its
+    violated code path, and the group structure is rich enough that the
+    statistics pass dominates.
+    """
+    domain_x = max(20, num_rows // 20)
+    return GenerationParameters(
+        num_rows=num_rows,
+        domain_x_size=domain_x,
+        domain_y_size=min(50, max(5, domain_x // 2)),
+        alpha_x=2.0,
+        beta_x=5.0,
+        alpha_y=2.0,
+        beta_y=5.0,
+        error_rate=0.01,
+    )
+
+
+def build_fixed_relation(num_rows: int, seed: int):
+    """Materialise one fixed benchmark relation (deterministic per size)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed + num_rows)
+    relation = generate_positive_relation(
+        fixed_relation_parameters(num_rows), rng, name=f"runtime[{num_rows}]"
+    )
+    return relation
+
+
+def _time_backend(relation, config: RuntimeConfig, backend: str) -> Dict[str, object]:
+    """Timed statistics+scoring passes of one (relation, backend) cell."""
+    measures = config.measure_config(backend).build()
+    for _ in range(config.warmup_runs):
+        score_with_shared_statistics(relation, SYNTHETIC_FD, measures, backend=backend)
+    statistics_runs: List[float] = []
+    total_runs: List[float] = []
+    measure_runs: Dict[str, List[float]] = {name: [] for name in measures}
+    for _ in range(config.repeats):
+        started = time.perf_counter()
+        _, runtimes, statistics_seconds = score_with_shared_statistics(
+            relation, SYNTHETIC_FD, measures, backend=backend
+        )
+        total_runs.append(time.perf_counter() - started)
+        statistics_runs.append(statistics_seconds)
+        for name, seconds in runtimes.items():
+            measure_runs[name].append(seconds)
+    return {
+        "statistics_seconds_median": median(statistics_runs),
+        "total_seconds_median": median(total_runs),
+        "measure_seconds_median": {
+            name: median(runs) for name, runs in measure_runs.items()
+        },
+        "statistics_seconds_runs": statistics_runs,
+        "total_seconds_runs": total_runs,
+    }
+
+
+def _speedup(baseline: Optional[float], contender: Optional[float]) -> Optional[float]:
+    if baseline is None or contender is None or contender <= 0.0:
+        return None
+    return baseline / contender
+
+
+def run_runtime(
+    config: RuntimeConfig = RuntimeConfig(),
+    output_dir: Optional[str] = "results",
+    bench_path: Optional[str] = "BENCH_runtime.json",
+) -> Dict[str, object]:
+    """Run the full runtime benchmark and persist its artifacts.
+
+    Returns the JSON payload; with ``output_dir`` set, writes
+    ``summary.json`` / ``summary.csv`` under ``<output_dir>/runtime/``;
+    with ``bench_path`` set, writes the compact benchmark record there
+    (the repo-root ``BENCH_runtime.json`` by default).
+    """
+    backends = config.resolved_backends()
+    relations: List[Dict[str, object]] = []
+    for num_rows in config.sizes:
+        relation = build_fixed_relation(num_rows, config.seed)
+        per_backend = {name: _time_backend(relation, config, name) for name in backends}
+
+        def _median_of(backend: str, key: str) -> Optional[float]:
+            cell = per_backend.get(backend)
+            return None if cell is None else cell[key]  # type: ignore[return-value]
+
+        relations.append(
+            {
+                "name": relation.name,
+                "num_rows": relation.num_rows,
+                "parameters": asdict(fixed_relation_parameters(num_rows)),
+                "backends": per_backend,
+                "statistics_speedup": _speedup(
+                    _median_of("python", "statistics_seconds_median"),
+                    _median_of("numpy", "statistics_seconds_median"),
+                ),
+                "total_speedup": _speedup(
+                    _median_of("python", "total_seconds_median"),
+                    _median_of("numpy", "total_seconds_median"),
+                ),
+            }
+        )
+    largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
+    payload: Dict[str, object] = {
+        "experiment": "runtime",
+        "config": asdict(config),
+        "backends": list(backends),
+        "relations": relations,
+        "largest": None
+        if largest is None
+        else {
+            "name": largest["name"],
+            "num_rows": largest["num_rows"],
+            "statistics_speedup": largest["statistics_speedup"],
+            "total_speedup": largest["total_speedup"],
+        },
+        # The headline number: python-backend over numpy-backend median
+        # wall-clock of the shared statistics pass on the largest fixed
+        # relation (None when only one backend ran).
+        "speedup": None if largest is None else largest["statistics_speedup"],
+    }
+    if output_dir is not None:
+        _write_artifacts(Path(output_dir) / "runtime", payload)
+    if bench_path is not None:
+        write_json(bench_path, payload)
+    return payload
+
+
+def _write_artifacts(directory: Path, payload: Dict[str, object]) -> None:
+    ensure_directory(directory)
+    write_json(directory / "summary.json", payload)
+    fields = ["relation", "num_rows", "backend", "metric", "median_seconds"]
+
+    def rows():
+        for entry in payload["relations"]:  # type: ignore[union-attr]
+            for backend, cell in entry["backends"].items():  # type: ignore[union-attr]
+                yield {
+                    "relation": entry["name"],
+                    "num_rows": entry["num_rows"],
+                    "backend": backend,
+                    "metric": "statistics",
+                    "median_seconds": cell["statistics_seconds_median"],
+                }
+                yield {
+                    "relation": entry["name"],
+                    "num_rows": entry["num_rows"],
+                    "backend": backend,
+                    "metric": "total",
+                    "median_seconds": cell["total_seconds_median"],
+                }
+                for measure, seconds in cell["measure_seconds_median"].items():
+                    yield {
+                        "relation": entry["name"],
+                        "num_rows": entry["num_rows"],
+                        "backend": backend,
+                        "metric": measure,
+                        "median_seconds": seconds,
+                    }
+
+    write_csv(directory / "summary.csv", fields, rows())

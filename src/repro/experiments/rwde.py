@@ -46,6 +46,7 @@ class RwdeConfig:
     mc_samples: int = 100
     sfi_alpha: float = 0.5
     measure_seed: int = 0
+    backend: Optional[str] = None
 
     def measure_config(self) -> MeasureConfig:
         return MeasureConfig(
@@ -53,6 +54,7 @@ class RwdeConfig:
             mc_samples=self.mc_samples,
             sfi_alpha=self.sfi_alpha,
             seed=self.measure_seed,
+            backend=self.backend,
         )
 
 
@@ -82,7 +84,9 @@ def _run_cell(task: Tuple[str, float, RwdeConfig]) -> Dict[str, object]:
     for corrupted in rwde:
         relation = corrupted.corrupted.relation
         ground_truth = set(corrupted.ground_truth)
-        discovered = discover_afds(relation, measures=measures, threshold=0.0)
+        discovered = discover_afds(
+            relation, measures=measures, threshold=0.0, backend=config.backend
+        )
         for candidate in discovered.candidates:
             if candidate.exact:
                 excluded_exact += 1

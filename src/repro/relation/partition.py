@@ -25,6 +25,43 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.relation.attribute import canonical_attributes
 from repro.relation.relation import Relation
 
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Below this many covered positions the dict-probing product is cheaper
+#: than materialising numpy owner arrays; above it the vectorised
+#: group-by wins.  Both paths produce identical partitions.
+_VECTORISE_THRESHOLD = 512
+
+
+def _split_clusters(positions: "np.ndarray", codes: "np.ndarray") -> List[Tuple[int, ...]]:
+    """Group ``positions`` by their parallel ``codes`` into position clusters.
+
+    Shared tail of every code-array grouping (:func:`_clusters_from_codes`
+    and the vectorised :meth:`StrippedPartition.intersect`): stable-sort
+    by code, split at code boundaries.  Input pairs whose code occurs
+    once survive as singleton clusters, which the
+    :class:`StrippedPartition` constructor strips.
+    """
+    if positions.shape[0] == 0:
+        return []
+    order = np.argsort(codes, kind="stable")
+    sorted_positions = positions[order]
+    boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+    return [tuple(chunk.tolist()) for chunk in np.split(sorted_positions, boundaries)]
+
+
+def _clusters_from_codes(codes: "np.ndarray") -> List[Tuple[int, ...]]:
+    """Non-singleton position clusters of a dense int code array."""
+    counts = np.bincount(codes)
+    keep = counts >= 2
+    if not keep.any():
+        return []
+    positions = np.flatnonzero(keep[codes])
+    return _split_clusters(positions, codes[positions])
+
 
 class StrippedPartition:
     """A stripped partition of row positions grouped by attribute values.
@@ -52,6 +89,7 @@ class StrippedPartition:
         ]
         self.clusters.sort()
         self._probe_cache: Optional[List[int]] = None
+        self._owner_cache = None  # numpy mirror of the probe table
         self._error_cache: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -61,8 +99,22 @@ class StrippedPartition:
     def from_relation(
         cls, relation: Relation, attributes: Iterable[str] | str
     ) -> "StrippedPartition":
-        """Compute the stripped partition of ``relation`` under ``attributes``."""
+        """Compute the stripped partition of ``relation`` under ``attributes``.
+
+        When the relation's columnar view exists (see
+        :meth:`Relation.columnar`), the grouping runs over the cached
+        code arrays instead of probing a dict per row; both paths yield
+        identical partitions (partitions treat NULL as an ordinary
+        value, exactly like the ``None`` dict key of the row scan).
+        """
         key = canonical_attributes(attributes)
+        columnar = relation.columnar(build=False)
+        if columnar is not None:
+            return cls(
+                relation.num_rows,
+                _clusters_from_codes(columnar.packed(key)),
+                attributes=key,
+            )
         indices = relation._attribute_indices(key)
         groups: Dict[Tuple[object, ...], List[int]] = {}
         for position, row in enumerate(relation):
@@ -124,6 +176,18 @@ class StrippedPartition:
             self._probe_cache = owner
         return self._probe_cache
 
+    def _owner_array(self) -> "np.ndarray":
+        """The probe table as a cached numpy array (requires numpy)."""
+        if self._owner_cache is None:
+            if self._probe_cache is not None:
+                self._owner_cache = np.asarray(self._probe_cache, dtype=np.int64)
+            else:
+                owner = np.full(self.num_rows, -1, dtype=np.int64)
+                for cluster_id, cluster in enumerate(self.clusters):
+                    owner[list(cluster)] = cluster_id
+                self._owner_cache = owner
+        return self._owner_cache
+
     def _check_compatible(self, other: "StrippedPartition", operation: str) -> None:
         if self.num_rows != other.num_rows:
             raise ValueError(
@@ -159,9 +223,24 @@ class StrippedPartition:
         positions walks its clusters and probes the other side's cached
         :meth:`probe_table`, so chains of products — as produced by the
         lattice traversal — only pay for the positions that can still
-        collide.
+        collide.  Large products (both sides covering many positions)
+        take a vectorised route over the cached numpy owner arrays
+        instead of dict probing; the resulting partition is identical.
         """
         self._check_compatible(other, "intersect")
+        if (
+            np is not None
+            and min(self.total_positions, other.total_positions) >= _VECTORISE_THRESHOLD
+        ):
+            own = self._owner_array()
+            theirs = other._owner_array()
+            positions = np.flatnonzero((own >= 0) & (theirs >= 0))
+            pair_codes = own[positions] * np.int64(len(other.clusters)) + theirs[positions]
+            _, dense = np.unique(pair_codes, return_inverse=True)
+            keep = (np.bincount(dense) >= 2)[dense]
+            new_clusters = _split_clusters(positions[keep], dense[keep])
+            attributes = canonical_attributes(self.attributes + other.attributes)
+            return StrippedPartition(self.num_rows, new_clusters, attributes=attributes)
         if self.total_positions <= other.total_positions:
             walk, probe = self, other
         else:

@@ -55,6 +55,7 @@ class Relation:
             self._rows.append(value_tuple)
         self._index_cache: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
         self._frequency_cache: Dict[Tuple[str, ...], Counter] = {}
+        self._columnar_cache: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -158,6 +159,30 @@ class Relation:
         """All values (with multiplicity) of a single attribute."""
         index = self._attribute_index(attribute)
         return [row[index] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Columnar view
+    # ------------------------------------------------------------------
+    def columnar(self, build: bool = True):
+        """The dictionary-encoded columnar view of this relation, or ``None``.
+
+        Built lazily on first request and cached for the relation's
+        lifetime, so the encoding cost is paid once and amortised over
+        every candidate FD scored on the relation (the cost discipline of
+        the paper's runtime experiment).  Returns ``None`` when numpy is
+        unavailable, or when ``build=False`` and no view has been built
+        yet — ``build=False`` lets opportunistic callers (the partition
+        layer) use the view only "when it exists".
+        """
+        if self._columnar_cache is None:
+            from repro.relation.columnar import ColumnarRelation, numpy_available
+
+            if not numpy_available():
+                return None
+            if not build:
+                return None
+            self._columnar_cache = ColumnarRelation.encode(self)
+        return self._columnar_cache
 
     # ------------------------------------------------------------------
     # Frequencies and active domains

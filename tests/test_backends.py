@@ -1,0 +1,409 @@
+"""Backend parity, the columnar substrate, and the runtime driver.
+
+The central contract under test: the ``python`` and ``numpy`` statistics
+backends produce **bit-identical** results — identical ``FdStatistics``
+count structures (same keys, same counts, same ``Counter`` insertion
+order), identical integer and float derived facts, and identical scores
+for all fourteen registered measures (``==``, not ``approx``).  The
+property tests drive randomised relations through both backends: with
+and without NULLs, with skewed domains, mixed value types, and the
+degenerate shapes (empty, constant, key LHS, single RHS value).
+
+Tests that need numpy are marked; the remainder (python backend,
+fallback resolution, integer-precision caching) also run in the
+no-numpy CI job.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+import repro.core.backends as backends
+from repro.core import all_measures
+from repro.core.backends import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.core.statistics import FdStatistics
+from repro.relation import FunctionalDependency, Relation
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+# ----------------------------------------------------------------------
+# Randomised relation generation (pure ``random``: runs without numpy)
+# ----------------------------------------------------------------------
+def random_relation(seed: int) -> Relation:
+    """A random relation with NULLs, skew, and mixed value types."""
+    rng = random.Random(seed)
+    num_attributes = rng.randint(2, 5)
+    attributes = [f"A{i}" for i in range(num_attributes)]
+    num_rows = rng.choice([0, 1, 2, rng.randint(3, 60), rng.randint(60, 180)])
+    pools = []
+    for _ in attributes:
+        cardinality = rng.randint(1, 14)
+        pools.append(
+            [rng.choice([str(v), v, v * 1.5, (v, "t")]) for v in range(cardinality)]
+        )
+    null_probability = rng.choice([0.0, 0.0, 0.1, 0.4])
+    rows = []
+    for _ in range(num_rows):
+        row = []
+        for pool in pools:
+            if rng.random() < null_probability:
+                row.append(None)
+            else:
+                # Half-normal index: earlier pool values are much likelier
+                # (the skewed-domain regime of the SKEW benchmark).
+                index = min(int(abs(rng.gauss(0.0, len(pool) / 3.0))), len(pool) - 1)
+                row.append(pool[index])
+        rows.append(tuple(row))
+    return Relation(attributes, rows, name=f"random-{seed}")
+
+
+def random_fd(relation: Relation, seed: int) -> FunctionalDependency:
+    rng = random.Random(seed)
+    attributes = list(relation.attributes)
+    lhs_size = rng.randint(1, min(2, len(attributes) - 1))
+    lhs = rng.sample(attributes, lhs_size)
+    rhs = rng.choice([a for a in attributes if a not in lhs])
+    return FunctionalDependency(lhs, rhs)
+
+
+DEGENERATE_CASES = [
+    Relation(["X", "Y"], [], name="empty"),
+    Relation(["X", "Y"], [("a", 1)] * 7, name="constant"),
+    Relation(["X", "Y"], [(i, i % 2) for i in range(9)], name="key-lhs"),
+    Relation(["X", "Y"], [(i % 3, "only") for i in range(9)], name="single-rhs"),
+    Relation(["X", "Y"], [(None, 1), (None, 2), ("a", None), ("a", 1)], name="nulls"),
+    Relation(["X", "Y"], [(None, None)] * 4, name="all-null"),
+]
+
+
+def _assert_identical_statistics(left: FdStatistics, right: FdStatistics) -> None:
+    """Full structural equality, including Counter insertion order."""
+    assert left.num_rows == right.num_rows
+    assert list(left.xy_counts.items()) == list(right.xy_counts.items())
+    assert list(left.x_counts.items()) == list(right.x_counts.items())
+    assert list(left.y_counts.items()) == list(right.y_counts.items())
+    assert list(left.full_tuple_counts.items()) == list(right.full_tuple_counts.items())
+    assert list(left.groups) == list(right.groups)
+    for key in left.groups:
+        assert list(left.groups[key].items()) == list(right.groups[key].items())
+    for fact in (
+        "sum_squared_tuple_counts",
+        "violating_pair_count",
+        "violating_tuple_count",
+        "max_subrelation_size",
+    ):
+        left_value = getattr(left, fact)()
+        right_value = getattr(right, fact)()
+        assert left_value == right_value, fact
+        assert isinstance(left_value, int) and isinstance(right_value, int), fact
+    for fact in (
+        "sum_squared_x_probabilities",
+        "sum_squared_y_probabilities",
+        "sum_squared_xy_probabilities",
+    ):
+        assert getattr(left, fact)() == getattr(right, fact)(), fact
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", range(60))
+def test_backend_parity_on_random_relations(seed):
+    relation = random_relation(seed)
+    fd = random_fd(relation, seed + 10_000)
+    python_statistics = FdStatistics.compute(relation, fd, backend="python")
+    numpy_statistics = FdStatistics.compute(relation, fd, backend="numpy")
+    _assert_identical_statistics(python_statistics, numpy_statistics)
+    for name, measure in all_measures(expectation="exact").items():
+        python_score = measure.score_from_statistics(python_statistics)
+        numpy_score = measure.score_from_statistics(numpy_statistics)
+        assert python_score == numpy_score, (name, python_score, numpy_score)
+
+
+@requires_numpy
+@pytest.mark.parametrize("case", DEGENERATE_CASES, ids=lambda c: c.name)
+def test_backend_parity_on_degenerate_relations(case):
+    fd = FunctionalDependency("X", "Y")
+    python_statistics = FdStatistics.compute(case, fd, backend="python")
+    numpy_statistics = FdStatistics.compute(case, fd, backend="numpy")
+    _assert_identical_statistics(python_statistics, numpy_statistics)
+    for name, measure in all_measures(expectation="exact").items():
+        assert measure.score_from_statistics(
+            python_statistics
+        ) == measure.score_from_statistics(numpy_statistics), name
+
+
+@requires_numpy
+def test_backend_parity_with_monte_carlo_expectation():
+    """The seeded Monte-Carlo expectation is deterministic per backend pair."""
+    relation = random_relation(3)
+    fd = random_fd(relation, 42)
+    python_statistics = FdStatistics.compute(relation, fd, backend="python")
+    numpy_statistics = FdStatistics.compute(relation, fd, backend="numpy")
+    measures = all_measures(expectation="monte-carlo", mc_samples=25)
+    for name in ("rfi_plus", "rfi_prime_plus"):
+        assert measures[name].score_from_statistics(
+            python_statistics
+        ) == measures[name].score_from_statistics(numpy_statistics), name
+
+
+@requires_numpy
+def test_backend_parity_on_multi_attribute_lhs():
+    relation = random_relation(17)
+    attributes = list(relation.attributes)
+    fd = FunctionalDependency(attributes[:2], attributes[-1])
+    python_statistics = FdStatistics.compute(relation, fd, backend="python")
+    numpy_statistics = FdStatistics.compute(relation, fd, backend="numpy")
+    _assert_identical_statistics(python_statistics, numpy_statistics)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def test_python_backend_always_available():
+    assert "python" in available_backends()
+    assert resolve_backend("python").name == "python"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown statistics backend"):
+        resolve_backend("polars")
+    with pytest.raises(ValueError, match="unknown statistics backend"):
+        set_default_backend("polars")
+
+
+def test_set_default_backend_round_trip():
+    try:
+        set_default_backend("python")
+        assert get_default_backend() == "python"
+        statistics = FdStatistics.compute(
+            Relation(["X", "Y"], [("a", 1), ("a", 2)]), FunctionalDependency("X", "Y")
+        )
+        assert statistics.num_rows == 2
+    finally:
+        set_default_backend(None)
+
+
+def test_environment_variable_override(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+    assert resolve_backend(None).name == "python"
+    monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+    assert resolve_backend(None).name in available_backends()
+
+
+def test_numpy_request_falls_back_without_numpy(monkeypatch):
+    """Requesting numpy when it is absent degrades to the python backend."""
+    monkeypatch.setattr(backends, "np", None)
+    assert resolve_backend("numpy").name == "python"
+    assert available_backends() == ("python",)
+    assert resolve_backend("auto").name == "python"
+
+
+# ----------------------------------------------------------------------
+# Integer precision (the 2**53 cache fix)
+# ----------------------------------------------------------------------
+def test_integer_statistics_are_exact_beyond_float_precision():
+    """Counts above 2**53 must not round-trip through float."""
+    huge = 2**53 + 1
+    fd = FunctionalDependency("X", "Y")
+    statistics = FdStatistics.from_joint_counts(
+        fd,
+        num_rows=huge + 2,
+        xy_counts=Counter({(("a",), ("p",)): huge, (("a",), ("q",)): 2}),
+        full_tuple_counts=Counter({("a", "p"): huge, ("a", "q"): 2}),
+    )
+    assert statistics.sum_squared_tuple_counts() == huge * huge + 4
+    assert statistics.violating_pair_count() == (huge + 2) ** 2 - (huge * huge + 4)
+    assert statistics.violating_tuple_count() == huge + 2
+    assert statistics.max_subrelation_size() == huge
+    # A second call hits the cache and must still be the exact int.
+    assert statistics.sum_squared_tuple_counts() == huge * huge + 4
+    assert isinstance(statistics.sum_squared_tuple_counts(), int)
+
+
+# ----------------------------------------------------------------------
+# Columnar substrate
+# ----------------------------------------------------------------------
+@requires_numpy
+def test_columnar_encoding_round_trip():
+    relation = Relation(
+        ["A", "B"],
+        [("x", 1), ("y", None), ("x", 1), (None, 2), ("z", 1)],
+    )
+    columnar = relation.columnar()
+    assert columnar is relation.columnar()  # cached on the relation
+    assert columnar.codes("A").tolist() == [0, 1, 0, -1, 2]
+    assert columnar.cardinality("A") == 3
+    assert columnar.decode_table("A") == ["x", "y", "z"]
+    assert columnar.null_count("A") == 1 and columnar.null_count("B") == 1
+    assert columnar.has_nulls(["A"]) and columnar.has_nulls(["A", "B"])
+    mask = columnar.non_null_mask(["A", "B"])
+    assert mask.tolist() == [True, False, True, False, True]
+    assert columnar.non_null_mask([]) is None
+
+
+@requires_numpy
+def test_columnar_grouped_matches_counter_order():
+    relation = random_relation(23)
+    columnar = relation.columnar()
+    for attribute in relation.attributes:
+        groups = columnar.grouped((attribute,))
+        expected = Counter(relation.column(attribute))
+        keys = [relation.column(attribute)[r] for r in groups.first_rows.tolist()]
+        assert [expected[k] for k in keys] == groups.counts.tolist()
+
+
+@requires_numpy
+def test_columnar_view_distinguishes_equal_reprs():
+    """Dictionary encoding must key on value equality, not representation."""
+    relation = Relation(["A", "B"], [(1, "a"), (True, "a"), ("1", "a"), (1.0, "a")])
+    # 1 == True == 1.0 in Python, "1" differs: two distinct codes.
+    assert relation.columnar().cardinality("A") == 2
+    statistics = FdStatistics.compute(relation, FunctionalDependency("A", "B"))
+    assert statistics.distinct_x == 2
+
+
+def test_columnar_absent_without_numpy(monkeypatch):
+    import repro.relation.columnar as columnar_module
+
+    monkeypatch.setattr(columnar_module, "np", None)
+    relation = Relation(["A", "B"], [("x", 1)])
+    assert relation.columnar() is None
+    # The python backend keeps working regardless.
+    statistics = FdStatistics.compute(
+        relation, FunctionalDependency("A", "B"), backend="python"
+    )
+    assert statistics.num_rows == 1
+
+
+# ----------------------------------------------------------------------
+# Partition layer over code arrays
+# ----------------------------------------------------------------------
+@requires_numpy
+@pytest.mark.parametrize("seed", range(12))
+def test_partition_from_columnar_codes_matches_row_scan(seed):
+    from repro.relation.partition import StrippedPartition
+
+    relation = random_relation(seed)
+    with_view = Relation(relation.attributes, relation.rows())
+    with_view.columnar()
+    for attributes in [relation.attributes[:1], relation.attributes[:2]]:
+        plain = StrippedPartition.from_relation(relation, attributes)
+        columnar = StrippedPartition.from_relation(with_view, attributes)
+        assert plain.clusters == columnar.clusters
+        assert plain.error() == columnar.error()
+
+
+@requires_numpy
+def test_vectorised_intersect_matches_dict_probing(monkeypatch):
+    import repro.relation.partition as partition_module
+    from repro.relation.partition import StrippedPartition
+
+    rng = random.Random(5)
+    rows = [(rng.randint(0, 4), rng.randint(0, 5), 0) for _ in range(4000)]
+    relation = Relation(["A", "B", "C"], rows)
+    left = StrippedPartition.from_relation(relation, ["A"])
+    right = StrippedPartition.from_relation(relation, ["B"])
+    assert min(left.total_positions, right.total_positions) >= (
+        partition_module._VECTORISE_THRESHOLD
+    )
+    vectorised = left.intersect(right)
+    monkeypatch.setattr(partition_module, "np", None)
+    dict_probed = left.intersect(right)
+    assert vectorised.clusters == dict_probed.clusters
+
+
+# ----------------------------------------------------------------------
+# Harness / discovery threading
+# ----------------------------------------------------------------------
+@requires_numpy
+def test_evaluate_specs_bit_identical_across_backends():
+    from repro.evaluation.harness import evaluate_specs
+    from repro.evaluation.scoring import MeasureConfig
+    from repro.synthetic.benchmarks import benchmark_specs
+
+    specs = benchmark_specs("err", steps=2, tables_per_step=1, max_rows=120)
+    config = MeasureConfig(expectation="monte-carlo", mc_samples=10)
+    python_result = evaluate_specs(specs, config, backend="python")
+    numpy_result = evaluate_specs(specs, config, backend="numpy")
+    for python_row, numpy_row in zip(python_result.rows, numpy_result.rows):
+        assert python_row.scores == numpy_row.scores
+
+
+@requires_numpy
+def test_discovery_bit_identical_across_backends():
+    from repro.discovery import discover_afds
+
+    relation = random_relation(31)
+    python_result = discover_afds(relation, threshold=0.0, max_lhs_size=2, backend="python")
+    numpy_result = discover_afds(relation, threshold=0.0, max_lhs_size=2, backend="numpy")
+    assert len(python_result.candidates) == len(numpy_result.candidates)
+    for left, right in zip(python_result.candidates, numpy_result.candidates):
+        assert left.fd == right.fd
+        assert left.scores == right.scores
+
+
+# ----------------------------------------------------------------------
+# Runtime driver (Table V)
+# ----------------------------------------------------------------------
+@requires_numpy
+def test_runtime_driver_smoke(tmp_path):
+    from repro.experiments.runtime import RuntimeConfig, run_runtime
+
+    bench_path = tmp_path / "BENCH_runtime.json"
+    payload = run_runtime(
+        RuntimeConfig(sizes=(120, 300), repeats=2, warmup_runs=1, mc_samples=5),
+        output_dir=str(tmp_path / "results"),
+        bench_path=str(bench_path),
+    )
+    assert payload["experiment"] == "runtime"
+    assert [entry["num_rows"] for entry in payload["relations"]] == [120, 300]
+    for entry in payload["relations"]:
+        assert set(entry["backends"]) == set(payload["backends"])
+        for cell in entry["backends"].values():
+            assert cell["statistics_seconds_median"] >= 0.0
+            assert len(cell["measure_seconds_median"]) == 14
+    assert payload["largest"]["num_rows"] == 300
+    if {"python", "numpy"} <= set(payload["backends"]):
+        assert payload["speedup"] is not None and payload["speedup"] > 0.0
+    assert (tmp_path / "results" / "runtime" / "summary.json").exists()
+    assert (tmp_path / "results" / "runtime" / "summary.csv").exists()
+
+    import json
+
+    record = json.loads(bench_path.read_text())
+    assert record["relations"][0]["name"] == "runtime[120]"
+
+
+@requires_numpy
+def test_runtime_single_backend_has_no_speedup(tmp_path):
+    from repro.experiments.runtime import RuntimeConfig, run_runtime
+
+    payload = run_runtime(
+        RuntimeConfig(sizes=(80,), backends=("python",), repeats=1, mc_samples=5),
+        output_dir=None,
+        bench_path=None,
+    )
+    assert payload["speedup"] is None
+    assert list(payload["relations"][0]["backends"]) == ["python"]
+
+
+@requires_numpy
+def test_runtime_rejects_unavailable_backend():
+    from repro.experiments.runtime import RuntimeConfig
+
+    with pytest.raises(ValueError, match="not available"):
+        RuntimeConfig(backends=("polars",)).resolved_backends()

@@ -137,9 +137,9 @@ def test_statistics_counter_beats_brute_force_on_wide_relation():
     compute_calls = {"lattice": 0}
     original = FdStatistics.compute.__func__
 
-    def counting(cls, rel, fd):
+    def counting(cls, rel, fd, backend=None):
         compute_calls["lattice"] += 1
-        return original(cls, rel, fd)
+        return original(cls, rel, fd, backend=backend)
 
     FdStatistics.compute = classmethod(counting)
     try:
