@@ -11,6 +11,7 @@ It provides:
 * error channels and the RWDe benchmark construction (:mod:`repro.errors`);
 * synthetic stand-ins for the RWD real-world benchmark (:mod:`repro.rwd`);
 * measure-based AFD discovery (:mod:`repro.discovery`);
+* incremental AFD maintenance over changing relations (:mod:`repro.stream`);
 * the evaluation harness: PR-AUC, rank-at-max-recall, separation, runtimes
   (:mod:`repro.evaluation`);
 * one experiment driver per paper table and figure (:mod:`repro.experiments`).
@@ -46,20 +47,35 @@ __version__ = "1.0.0"
 #: Subpackages (and their headline callables) exposed lazily: importing
 #: ``repro`` stays cheap while ``repro.evaluation`` / ``repro.discovery``
 #: / ``repro.experiments`` remain reachable as plain attributes.
-_LAZY_SUBMODULES = ("discovery", "errors", "evaluation", "experiments", "rwd", "synthetic")
+_LAZY_SUBMODULES = (
+    "discovery",
+    "errors",
+    "evaluation",
+    "experiments",
+    "rwd",
+    "stream",
+    "synthetic",
+)
 _LAZY_ATTRIBUTES = {
     "brute_force_afds": "repro.discovery",
     "discover_afds": "repro.discovery",
     "lattice_discover": "repro.discovery",
+    "minimal_cover": "repro.discovery",
     "evaluate_benchmark": "repro.evaluation",
     "evaluate_specs": "repro.evaluation",
     "benchmark_specs": "repro.synthetic",
+    "DynamicRelation": "repro.stream",
+    "IncrementalFdStatistics": "repro.stream",
+    "IncrementalPartition": "repro.stream",
 }
 
 __all__ = [
     "AfdMeasure",
+    "DynamicRelation",
     "FdStatistics",
     "FunctionalDependency",
+    "IncrementalFdStatistics",
+    "IncrementalPartition",
     "MeasureClass",
     "Relation",
     "StrippedPartition",
@@ -69,6 +85,7 @@ __all__ = [
     "default_measures",
     "discover_afds",
     "lattice_discover",
+    "minimal_cover",
     "evaluate_benchmark",
     "evaluate_specs",
     "get_measure",

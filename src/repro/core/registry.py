@@ -180,6 +180,25 @@ def get_measure(name: str, **kwargs) -> AfdMeasure:
     return measures[name]
 
 
+def select_measures(
+    measures: Dict[str, AfdMeasure], spec: Optional[str]
+) -> Dict[str, AfdMeasure]:
+    """Subset a measure mapping by a comma-separated name list.
+
+    The shared ``--measures`` parser of the CLIs: ``spec=None`` keeps the
+    full mapping, otherwise the named measures are returned in the
+    requested order; unknown names raise :class:`KeyError` with a
+    message naming them and the known set.
+    """
+    if spec is None:
+        return measures
+    wanted = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in measures]
+    if unknown:
+        raise KeyError(f"unknown measures {unknown}; known: {sorted(measures)}")
+    return {name: measures[name] for name in wanted}
+
+
 def measure_names() -> List[str]:
     """Canonical measure names in paper order."""
     return list(MEASURE_ORDER)

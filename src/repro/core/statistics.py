@@ -95,10 +95,20 @@ class FdStatistics:
         x_counts: Counter = Counter()
         y_counts: Counter = Counter()
         groups: Dict[Tuple, Counter] = {}
+        # Hot loop (every backend and every incremental refresh runs it):
+        # plain dict probes instead of ``Counter.__missing__`` dispatch,
+        # and no throwaway ``Counter()`` per already-seen group.  Keys of
+        # ``xy_counts`` are distinct, so each ``(x, y)`` lands in its
+        # group exactly once.
         for (x, y), count in xy_counts.items():
-            x_counts[x] += count
-            y_counts[y] += count
-            groups.setdefault(x, Counter())[y] += count
+            previous = x_counts.get(x)
+            x_counts[x] = count if previous is None else previous + count
+            previous = y_counts.get(y)
+            y_counts[y] = count if previous is None else previous + count
+            group = groups.get(x)
+            if group is None:
+                group = groups[x] = Counter()
+            group[y] = count
         return cls(
             fd=fd,
             num_rows=num_rows,

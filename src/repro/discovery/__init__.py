@@ -9,6 +9,7 @@ exponential candidate space tractable.  ``python -m repro.discovery``
 exposes the same search on CSV files and the named RWD datasets.
 """
 
+from repro.discovery.cover import minimal_cover
 from repro.discovery.lattice import (
     PartitionCache,
     brute_force_afds,
@@ -27,4 +28,5 @@ __all__ = [
     "brute_force_afds",
     "discover_afds",
     "lattice_discover",
+    "minimal_cover",
 ]

@@ -29,7 +29,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.core.registry import all_measures
+from repro.core.registry import all_measures, select_measures
+from repro.discovery.cover import minimal_cover
 from repro.discovery.single import DiscoveryResult, discover_afds
 from repro.relation.attribute import attribute_label
 from repro.relation.io import read_csv
@@ -84,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="drop candidates whose partition g3 score is below this bound "
         "before scoring (default: off)",
+    )
+    parser.add_argument(
+        "--minimal-cover",
+        action="store_true",
+        help="drop candidates implied by an accepted exact FD with a "
+        "proper-subset LHS (minimal-cover reduction of the result)",
     )
     parser.add_argument(
         "--expectation",
@@ -181,18 +188,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         relation = build_dataset(args.dataset, num_rows=args.rows, seed=args.seed).relation
     else:
         relation = read_csv(args.csv)
-    measures = all_measures(
-        expectation=args.expectation, mc_samples=args.mc_samples, sfi_alpha=args.sfi_alpha
-    )
-    if args.measures is not None:
-        wanted = [name.strip() for name in args.measures.split(",") if name.strip()]
-        unknown = [name for name in wanted if name not in measures]
-        if unknown:
-            print(
-                f"unknown measures {unknown}; known: {sorted(measures)}", file=sys.stderr
-            )
-            return 2
-        measures = {name: measures[name] for name in wanted}
+    try:
+        measures = select_measures(
+            all_measures(
+                expectation=args.expectation,
+                mc_samples=args.mc_samples,
+                sfi_alpha=args.sfi_alpha,
+            ),
+            args.measures,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
     started = time.perf_counter()
     result = discover_afds(
         relation,
@@ -202,6 +209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         g3_bound=args.g3_bound,
         backend=args.backend,
     )
+    if args.minimal_cover:
+        result = minimal_cover(result)
     elapsed = time.perf_counter() - started
     if args.format == "json":
         text = json.dumps(_json_payload(relation, result, elapsed), indent=2, sort_keys=True)
@@ -215,13 +224,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         text = buffer.getvalue()
     _write_output(text, args.output)
     counters = result.counters()
+    cover_note = (
+        f", minimal cover dropped {counters['dropped_non_minimal']}"
+        if args.minimal_cover
+        else ""
+    )
     print(
         f"{relation.name or 'relation'}: {relation.num_rows} rows, "
         f"{relation.num_attributes} attributes, max_lhs_size={result.max_lhs_size} — "
         f"{counters['candidates']} candidates, "
         f"{counters['statistics_computed']} statistics passes "
         f"(pruned: {counters['pruned_exact']} exact, {counters['pruned_key']} key, "
-        f"{counters['pruned_bound']} bound) in {elapsed:.2f}s",
+        f"{counters['pruned_bound']} bound{cover_note}) in {elapsed:.2f}s",
         file=sys.stderr,
     )
     return 0

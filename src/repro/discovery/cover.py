@@ -1,0 +1,74 @@
+"""Minimal-cover reduction of discovered AFD sets.
+
+The lattice traversal reports *every* candidate ``X -> A`` it scores —
+including candidates that carry no information of their own because a
+smaller LHS already determines the same RHS **exactly**: once ``Z -> A``
+holds exactly, every superset ``X ⊃ Z`` satisfies ``X -> A`` by
+Armstrong augmentation, and the traversal indeed emits all of them with
+score 1.0 (that is what the ``pruned_exact`` shortcut proves).  For
+reporting and for downstream schema work those implied candidates are
+noise; the classical remedy is a minimal cover.
+
+:func:`minimal_cover` drops exactly the implied candidates: a candidate
+``X -> A`` is removed when some *accepted exact* FD ``Z -> A`` with
+``Z ⊊ X`` exists among the result's candidates.  Approximate (non-exact)
+candidates are never implied this way — a proper superset of an exact
+LHS is itself exact — so the reduction only ever removes provably
+redundant 1.0-scored candidates, and the surviving exact FDs are
+precisely the minimal-LHS generators of the exact set.  Scores are
+untouched; the result is the same :class:`DiscoveryResult` shape with
+``dropped_non_minimal`` recording the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.discovery.single import CandidateScore, DiscoveryResult
+
+
+def minimal_exact_lhs_sets(
+    candidates: List[CandidateScore],
+) -> Dict[Tuple[str, ...], List[FrozenSet[str]]]:
+    """Per RHS, the inclusion-minimal LHS sets among the exact candidates."""
+    by_rhs: Dict[Tuple[str, ...], List[FrozenSet[str]]] = {}
+    for candidate in candidates:
+        if not candidate.exact:
+            continue
+        lhs = frozenset(candidate.fd.lhs)
+        kept = by_rhs.setdefault(candidate.fd.rhs, [])
+        if any(existing <= lhs for existing in kept):
+            continue
+        kept[:] = [existing for existing in kept if not lhs < existing]
+        kept.append(lhs)
+    return by_rhs
+
+
+def is_implied(candidate: CandidateScore, minimal_exact: Dict[Tuple[str, ...], List[FrozenSet[str]]]) -> bool:
+    """True when an exact FD with a *proper-subset* LHS covers the candidate."""
+    lhs = frozenset(candidate.fd.lhs)
+    return any(
+        exact < lhs for exact in minimal_exact.get(candidate.fd.rhs, ())
+    )
+
+
+def minimal_cover(result: DiscoveryResult) -> DiscoveryResult:
+    """A copy of ``result`` without candidates implied by smaller exact FDs.
+
+    Candidate order, scores and the pruning counters are preserved;
+    ``dropped_non_minimal`` counts the removed candidates.  Idempotent:
+    reducing an already-minimal result drops nothing.
+    """
+    minimal_exact = minimal_exact_lhs_sets(result.candidates)
+    kept = [
+        candidate
+        for candidate in result.candidates
+        if not is_implied(candidate, minimal_exact)
+    ]
+    return replace(
+        result,
+        candidates=kept,
+        dropped_non_minimal=result.dropped_non_minimal
+        + (len(result.candidates) - len(kept)),
+    )

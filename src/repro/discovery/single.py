@@ -70,6 +70,9 @@ class DiscoveryResult:
     pruned_bound: int = 0
     statistics_computed: int = 0
     max_lhs_size: int = 1
+    #: Candidates removed by :func:`repro.discovery.cover.minimal_cover`
+    #: (0 until a minimal-cover reduction has been applied).
+    dropped_non_minimal: int = 0
 
     def accepted(self, measure: str) -> List[CandidateScore]:
         """Candidates meeting the measure's threshold, best score first."""
@@ -91,6 +94,7 @@ class DiscoveryResult:
             "pruned_key": self.pruned_key,
             "pruned_bound": self.pruned_bound,
             "statistics_computed": self.statistics_computed,
+            "dropped_non_minimal": self.dropped_non_minimal,
         }
 
     def __len__(self) -> int:

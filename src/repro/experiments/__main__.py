@@ -12,6 +12,12 @@ Examples::
     # multi-attribute lattice discovery over the RWD benchmark
     python -m repro.experiments --benchmark discovery --max-lhs-size 2
 
+    # incremental-vs-recompute streaming benchmark (repro.stream)
+    python -m repro.experiments --benchmark streaming
+
+    # render results/*/curves.csv to PNG (requires matplotlib)
+    python -m repro.experiments --plot
+
     # everything: ERR + UNIQ + SKEW + RWDe + discovery + Table III
     python -m repro.experiments --benchmark all
 """
@@ -25,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.core.registry import paper_label
 from repro.experiments.discovery import DiscoveryConfig, run_discovery
+from repro.experiments.plotting import PLOT_FORMATS, run_plot
 from repro.experiments.properties import PropertiesConfig, run_properties
 from repro.experiments.runtime import (
     SMOKE_REPEATS,
@@ -34,6 +41,12 @@ from repro.experiments.runtime import (
 )
 from repro.experiments.rwde import RwdeConfig, run_rwde
 from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
+from repro.experiments.streaming import (
+    SMOKE_BATCHES,
+    StreamingConfig,
+    run_streaming,
+)
+from repro.experiments.streaming import SMOKE_SIZES as STREAMING_SMOKE_SIZES
 
 SENSITIVITY_BENCHMARKS = ("err", "uniq", "skew")
 BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + (
@@ -41,8 +54,15 @@ BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + (
     "discovery",
     "properties",
     "runtime",
+    "streaming",
     "all",
 )
+
+#: Per-benchmark default target of the repo-root benchmark record.
+DEFAULT_BENCH_PATHS = {
+    "runtime": "BENCH_runtime.json",
+    "streaming": "BENCH_streaming.json",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,16 +180,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed repetitions per (relation, backend) cell (default: 5)",
     )
     parser.add_argument(
+        "--streaming-sizes",
+        default="1000,5000,20000",
+        help="comma-separated fixed relation sizes of the streaming benchmark "
+        "(default: 1000,5000,20000)",
+    )
+    parser.add_argument(
+        "--streaming-batches",
+        type=int,
+        default=12,
+        help="insert/delete batches per relation of the streaming benchmark "
+        "(default: 12)",
+    )
+    parser.add_argument(
+        "--streaming-batch-size",
+        type=int,
+        default=16,
+        help="appended rows per streaming batch, the Δ of the incremental path "
+        "(default: 16)",
+    )
+    parser.add_argument(
+        "--streaming-delete-fraction",
+        type=float,
+        default=0.25,
+        help="deletes per streaming batch as a fraction of the batch size "
+        "(default: 0.25)",
+    )
+    parser.add_argument(
         "--bench-path",
-        default="BENCH_runtime.json",
-        help="where the runtime benchmark record is written "
-        "(default: BENCH_runtime.json at the repo root; '-' to skip)",
+        default=None,
+        help="where the runtime/streaming benchmark record is written "
+        "(default: BENCH_runtime.json / BENCH_streaming.json at the repo "
+        "root; '-' to skip)",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="smoke-scale runtime benchmark (small fixed relations, 2 repeats) "
-        "for CI artifact validation",
+        help="smoke-scale runtime/streaming benchmark (small fixed relations, "
+        "fewer repeats/batches) for CI artifact validation",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="instead of running a benchmark, render every "
+        "<output-dir>/*/curves.csv to a figure (clean skip when matplotlib "
+        "is not installed)",
+    )
+    parser.add_argument(
+        "--plot-format",
+        choices=PLOT_FORMATS,
+        default="png",
+        help="figure format for --plot (default: png)",
     )
     return parser
 
@@ -287,6 +348,14 @@ def _run_discovery(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         print(f"artifacts: {output_dir}/discovery/{{summary.json,summary.csv}}")
 
 
+def _bench_path(args: argparse.Namespace, benchmark: str) -> Optional[str]:
+    if args.bench_path == "-":
+        return None
+    if args.bench_path is None:
+        return DEFAULT_BENCH_PATHS[benchmark]
+    return args.bench_path
+
+
 def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
     if args.smoke:
         sizes: tuple = SMOKE_SIZES
@@ -307,7 +376,7 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
     )
-    bench_path = None if args.bench_path == "-" else args.bench_path
+    bench_path = _bench_path(args, "runtime")
     started = time.perf_counter()
     payload = run_runtime(config, output_dir=output_dir, bench_path=bench_path)
     elapsed = time.perf_counter() - started
@@ -336,6 +405,80 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         print(f"artifacts: {output_dir}/runtime/{{summary.json,summary.csv}}")
     if bench_path is not None:
         print(f"benchmark record: {bench_path}")
+
+
+def _run_streaming(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    if args.smoke:
+        sizes: tuple = STREAMING_SMOKE_SIZES
+        batches = SMOKE_BATCHES
+    else:
+        sizes = tuple(
+            int(part) for part in args.streaming_sizes.split(",") if part.strip()
+        )
+        batches = args.streaming_batches
+    backends: tuple = ()
+    if args.backend is not None and args.backend != "auto":
+        backends = (args.backend,)
+    config = StreamingConfig(
+        sizes=sizes,
+        backends=backends,
+        batches=batches,
+        batch_size=args.streaming_batch_size,
+        delete_fraction=args.streaming_delete_fraction,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+    )
+    bench_path = _bench_path(args, "streaming")
+    started = time.perf_counter()
+    payload = run_streaming(config, output_dir=output_dir, bench_path=bench_path)
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nStreaming benchmark ({config.batches} batches x "
+        f"{config.batch_size} appends + "
+        f"{int(config.batch_size * config.delete_fraction)} deletes, {elapsed:.1f}s)"
+    )
+    header = (
+        f"{'relation':<16} {'backend':<8} {'incr ms':>9} {'recomp ms':>10} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in payload["relations"]:  # type: ignore[union-attr]
+        for backend, cell in entry["backends"].items():
+            speedup = cell["statistics_speedup"]
+            speedup_text = "n/a" if speedup is None else f"{speedup:.1f}x"
+            print(
+                f"{entry['name']:<16} {backend:<8} "
+                f"{cell['incremental_seconds_median'] * 1000:>9.3f} "
+                f"{cell['recompute_seconds_median'] * 1000:>10.3f} "
+                f"{speedup_text:>8}"
+            )
+    if payload["speedup"] is not None:
+        print(
+            f"largest relation statistics-phase speedup "
+            f"({payload['headline_backend']} backend, incremental over recompute): "
+            f"{payload['speedup']:.1f}x"
+        )
+    print("scores verified bit-identical on every batch")
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/streaming/{{summary.json,summary.csv}}")
+    if bench_path is not None:
+        print(f"benchmark record: {bench_path}")
+
+
+def _run_plot(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    results_dir = output_dir if output_dir is not None else "results"
+    payload = run_plot(results_dir=results_dir, image_format=args.plot_format)
+    if not payload["sources"]:
+        print(
+            f"no curves.csv artifacts under {results_dir}/ — run a sensitivity "
+            f"benchmark first (e.g. --benchmark err)"
+        )
+        return
+    for path in payload["rendered"]:  # type: ignore[union-attr]
+        print(f"rendered: {path}")
+    if payload["skipped"]:
+        print(f"skipped (no matplotlib): {', '.join(payload['skipped'])}")
 
 
 def _run_properties(
@@ -374,7 +517,9 @@ def _run_properties(
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     output_dir = None if args.output_dir == "-" else args.output_dir
-    if args.benchmark in SENSITIVITY_BENCHMARKS:
+    if args.plot:
+        _run_plot(args, output_dir)
+    elif args.benchmark in SENSITIVITY_BENCHMARKS:
         _run_sensitivity(args, args.benchmark, output_dir)
     elif args.benchmark == "rwde":
         _run_rwde(args, output_dir)
@@ -382,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_discovery(args, output_dir)
     elif args.benchmark == "runtime":
         _run_runtime(args, output_dir)
+    elif args.benchmark == "streaming":
+        _run_streaming(args, output_dir)
     elif args.benchmark == "properties":
         _run_properties(args, output_dir)
     else:  # all

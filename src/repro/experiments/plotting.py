@@ -1,0 +1,201 @@
+"""Figure generation from persisted experiment artifacts.
+
+The sensitivity drivers persist their per-step curve data as
+``results/<benchmark>/curves.csv`` (one row per measure and step:
+``measure, step, parameter_value, mean_positive_score,
+mean_negative_score``) — the data behind the Section V figures.
+``python -m repro.experiments --plot`` renders every discovered curve
+file to one figure per benchmark: mean positive score (solid) and mean
+negative score (dashed) per measure over the swept parameter.
+
+matplotlib is an *optional* dependency: loading and summarising the CSV
+data works without it, and rendering degrades to a clean skip with an
+actionable message (exit code 0) when it is absent, so the CLI never
+breaks a pipeline that merely lacks the plotting extra.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.registry import paper_label
+
+#: File formats the --plot mode can emit.
+PLOT_FORMATS = ("png", "svg")
+
+#: The message printed when rendering is requested without matplotlib.
+MATPLOTLIB_MISSING = (
+    "matplotlib is not installed — skipping figure rendering "
+    "(install it with `pip install matplotlib` and re-run --plot)"
+)
+
+
+def matplotlib_available() -> bool:
+    """True when figures can actually be rendered in this process."""
+    try:  # pragma: no cover - trivially environment-dependent
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+CurvePoint = Dict[str, float]
+
+
+def load_curves(path) -> Dict[str, List[CurvePoint]]:
+    """Parse one ``curves.csv`` into per-measure point lists.
+
+    Points are ordered by step, exactly as persisted; values are floats.
+    Raises :class:`ValueError` on a CSV missing the curve columns, so a
+    mis-pointed ``--plot`` fails loudly instead of rendering nonsense.
+    """
+    path = Path(path)
+    curves: Dict[str, List[CurvePoint]] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {
+            "measure",
+            "step",
+            "parameter_value",
+            "mean_positive_score",
+            "mean_negative_score",
+        }
+        missing = required - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                f"{path} is not a curves.csv artifact: missing columns {sorted(missing)}"
+            )
+        for row in reader:
+            curves.setdefault(row["measure"], []).append(
+                {
+                    "step": float(row["step"]),
+                    "parameter_value": float(row["parameter_value"]),
+                    "mean_positive_score": float(row["mean_positive_score"]),
+                    "mean_negative_score": float(row["mean_negative_score"]),
+                }
+            )
+    for points in curves.values():
+        points.sort(key=lambda point: point["step"])
+    return curves
+
+
+def discover_curve_files(results_dir) -> List[Tuple[str, Path]]:
+    """``(benchmark, path)`` pairs for every ``results/*/curves.csv``."""
+    results = Path(results_dir)
+    if not results.is_dir():
+        return []
+    return sorted(
+        (path.parent.name, path) for path in results.glob("*/curves.csv")
+    )
+
+
+def render_curves(
+    curves: Dict[str, List[CurvePoint]],
+    output_path,
+    title: str = "",
+    parameter_name: str = "parameter",
+) -> Optional[Path]:
+    """Render one benchmark's curves to ``output_path`` (format by suffix).
+
+    Returns the written path, or ``None`` (after printing
+    :data:`MATPLOTLIB_MISSING`) when matplotlib is unavailable.
+    """
+    if not matplotlib_available():
+        print(MATPLOTLIB_MISSING)
+        return None
+    import matplotlib
+
+    matplotlib.use("Agg")  # never require a display
+    from matplotlib import pyplot
+
+    output_path = Path(output_path)
+    figure, axes = pyplot.subplots(figsize=(8.0, 5.0))
+    color_cycle = pyplot.rcParams["axes.prop_cycle"].by_key().get("color", ["C0"])
+    for index, (measure, points) in enumerate(curves.items()):
+        color = color_cycle[index % len(color_cycle)]
+        xs = [point["parameter_value"] for point in points]
+        axes.plot(
+            xs,
+            [point["mean_positive_score"] for point in points],
+            color=color,
+            linestyle="-",
+            linewidth=1.2,
+            label=paper_label(measure),
+        )
+        axes.plot(
+            xs,
+            [point["mean_negative_score"] for point in points],
+            color=color,
+            linestyle="--",
+            linewidth=0.8,
+        )
+    axes.set_xlabel(parameter_name)
+    axes.set_ylabel("mean score (solid: B+, dashed: B-)")
+    if title:
+        axes.set_title(title)
+    axes.legend(loc="center left", bbox_to_anchor=(1.02, 0.5), fontsize=8)
+    figure.tight_layout()
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    figure.savefig(output_path)
+    pyplot.close(figure)
+    return output_path
+
+
+def run_plot(
+    results_dir: str = "results",
+    output_dir: Optional[str] = None,
+    image_format: str = "png",
+) -> Dict[str, object]:
+    """Render every ``results/*/curves.csv`` to ``<benchmark>.<format>``.
+
+    Figures land next to their source data (or under ``output_dir`` when
+    given).  Returns a summary payload: rendered paths, plus the
+    benchmarks skipped because matplotlib is missing — callers can treat
+    ``skipped`` as a soft condition (the CLI exits 0 either way).
+    """
+    if image_format not in PLOT_FORMATS:
+        raise ValueError(
+            f"unknown plot format {image_format!r}; known formats: {list(PLOT_FORMATS)}"
+        )
+    sources = discover_curve_files(results_dir)
+    rendered: List[str] = []
+    skipped: List[str] = []
+    for benchmark, path in sources:
+        curves = load_curves(path)
+        # The parameter swept is benchmark-specific; recover its name
+        # from the companion summary when present.
+        parameter_name = _parameter_name(path.parent)
+        target_dir = Path(output_dir) if output_dir is not None else path.parent
+        target = target_dir / f"{benchmark}.{image_format}"
+        written = render_curves(
+            curves, target, title=benchmark.upper(), parameter_name=parameter_name
+        )
+        if written is None:
+            skipped.append(benchmark)
+        else:
+            rendered.append(str(written))
+    return {
+        "results_dir": str(results_dir),
+        "format": image_format,
+        "sources": [str(path) for _, path in sources],
+        "rendered": rendered,
+        "skipped": skipped,
+        "matplotlib_available": matplotlib_available(),
+    }
+
+
+def _parameter_name(directory: Path) -> str:
+    import json
+
+    summary = directory / "summary.json"
+    if summary.exists():
+        try:
+            payload = json.loads(summary.read_text())
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            return "parameter"
+        name = payload.get("parameter_name")
+        if isinstance(name, str) and name:
+            return name
+    return "parameter"

@@ -161,6 +161,25 @@ class Relation:
         return [row[index] for row in self._rows]
 
     # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache: frequencies, attribute indices, columnar view.
+
+        The public API never mutates a relation, so the caches are
+        normally valid for the relation's lifetime.  Anything that *does*
+        change the row store in place — external code reaching into
+        ``_rows``, or future mutable wrappers — must call this before the
+        next read, or cached frequencies and the cached columnar view
+        keep answering for the old rows (``repro.stream`` sidesteps the
+        problem entirely: :class:`~repro.stream.dynamic.DynamicRelation`
+        copies the rows it wraps and re-snapshots instead of mutating).
+        """
+        self._index_cache.clear()
+        self._frequency_cache.clear()
+        self._columnar_cache = None
+
+    # ------------------------------------------------------------------
     # Columnar view
     # ------------------------------------------------------------------
     def columnar(self, build: bool = True):

@@ -1,0 +1,31 @@
+"""``repro.stream`` — incremental AFD maintenance over changing relations.
+
+The static pipeline pays one O(rows) sufficient-statistics pass per
+candidate FD; this subsystem serves relations that *change* — appends,
+deletes, sliding windows — without re-paying that pass per batch:
+
+* :class:`DynamicRelation` — the mutable row store: stable row ids,
+  tombstone deletes, optional sliding window, an extendable dictionary
+  encoding (grown in place, re-densified into the snapshot's columnar
+  view), and delta notification to trackers;
+* :class:`IncrementalFdStatistics` — O(Δ)-maintained joint counts that
+  re-assemble into an :class:`~repro.core.statistics.FdStatistics`
+  bit-identical to a from-scratch ``compute()`` on either backend;
+* :class:`IncrementalPartition` — value-keyed stripped-partition
+  maintenance with buffered deletes and a replay-vs-rebuild cost model.
+
+``python -m repro.stream`` is the monitoring front end: it replays a CSV
+file or a named RWD dataset as a stream and emits per-batch measure
+scores as JSON lines.  ``python -m repro.experiments --benchmark
+streaming`` benchmarks incremental re-scoring against full recompute.
+"""
+
+from repro.stream.dynamic import DynamicRelation
+from repro.stream.partition import IncrementalPartition
+from repro.stream.statistics import IncrementalFdStatistics
+
+__all__ = [
+    "DynamicRelation",
+    "IncrementalFdStatistics",
+    "IncrementalPartition",
+]

@@ -1,0 +1,355 @@
+"""Relations that change: the mutable row store behind ``repro.stream``.
+
+:class:`DynamicRelation` is the subsystem's source of truth for a
+relation under **inserts and deletes**.  Every row ever appended gets a
+monotonically increasing *row id*; deletion tombstones the id instead of
+shifting positions, so the derived structures (incremental statistics,
+incremental partitions) can refer to rows stably across mutations.  The
+live rows, in ascending id order, define the *current* relation — the
+one a from-scratch :meth:`FdStatistics.compute` would see.
+
+Three design points carry the subsystem:
+
+* **Delta notification.**  Trackers created via :meth:`track` (one
+  :class:`~repro.stream.statistics.IncrementalFdStatistics` per FD) and
+  :meth:`track_partition` (one
+  :class:`~repro.stream.partition.IncrementalPartition` per attribute
+  set) receive every ``(row_id, row)`` insert/delete exactly once, in
+  mutation order, so their caches stay in lockstep with the store in
+  O(Δ) per batch.
+* **Extendable dictionary encoding.**  When numpy is available the
+  store keeps one growing ``int32`` code array per attribute (amortised
+  doubling) plus the value -> code table of
+  :mod:`repro.relation.columnar`, extended in place as new values
+  arrive; NULL keeps the reserved code ``-1`` (the columnar null-mask
+  convention).  :meth:`snapshot` re-densifies the live slice of those
+  arrays into a first-occurrence-ordered
+  :class:`~repro.relation.columnar.ColumnarRelation` and pre-seeds the
+  snapshot's columnar cache — bit-identical to a fresh
+  :meth:`ColumnarRelation.encode`, but without re-paying the Python
+  per-row encoding pass.
+* **Cache ownership.**  A :class:`DynamicRelation` never shares mutable
+  state with the :class:`Relation` it was built from
+  (:meth:`from_relation` copies the row list), and every mutation
+  invalidates the cached snapshot, so stale reads through previously
+  returned snapshots are impossible: old snapshots keep their own
+  immutable rows and caches, new snapshots are rebuilt on demand.
+
+Sliding-window semantics: with ``window=n`` every append beyond ``n``
+live rows evicts the oldest live row through the regular delete path
+(trackers observe the eviction as an ordinary delete).
+
+**Memory model.**  Stable ids are bought with tombstoning: evicted and
+deleted rows keep their slot in the row list and their codes in the
+dynamic arrays, so a long-running windowed stream holds O(total rows
+ever appended) state even though only ``window`` rows are live.  That
+is the right trade for the bounded replay workloads this subsystem
+ships (benchmark batches, CSV monitoring) — re-basing ids to reclaim
+history would invalidate every tracker's id-keyed state, and is tracked
+as ROADMAP headroom for truly unbounded streams.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relation.relation import Relation, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stream.partition import IncrementalPartition
+    from repro.stream.statistics import IncrementalFdStatistics
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Initial capacity of a dynamic code array (doubled on overflow).
+_INITIAL_CAPACITY = 16
+
+
+class _DynamicColumn:
+    """One growing dictionary-encoded column of the dynamic store.
+
+    ``codes[:length]`` holds the historical code of every appended row
+    (``-1`` for NULL); ``values`` is the code -> value table in
+    historical first-occurrence order.  Codes are never rewritten:
+    deletions leave them in place (the live-row selection happens at
+    snapshot time), and the code table only grows.
+    """
+
+    __slots__ = ("codes", "length", "mapping", "values")
+
+    def __init__(self):
+        self.codes = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self.length = 0
+        self.mapping: Dict[object, int] = {}
+        self.values: List[object] = []
+
+    def append(self, value: object) -> None:
+        if self.length == self.codes.shape[0]:
+            grown = np.empty(self.codes.shape[0] * 2, dtype=np.int32)
+            grown[: self.length] = self.codes[: self.length]
+            self.codes = grown
+        if value is None:
+            code = -1
+        else:
+            code = self.mapping.get(value)
+            if code is None:
+                code = len(self.values)
+                self.mapping[value] = code
+                self.values.append(value)
+        self.codes[self.length] = code
+        self.length += 1
+
+    @property
+    def cardinality(self) -> int:
+        """Distinct non-NULL values ever appended (live or not)."""
+        return len(self.values)
+
+
+class DynamicRelation:
+    """A bag relation supporting ``append`` / ``delete`` / sliding windows.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names (validated exactly like :class:`Relation`).
+    rows:
+        Initial rows (appended with ids ``0 .. len(rows) - 1``).
+    name:
+        Name stamped on every snapshot (and therefore on every
+        ``FdStatistics.relation_name`` derived from one).
+    window:
+        Optional sliding-window size: appends beyond ``window`` live rows
+        evict the oldest live row through the delete path.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+        name: str = "",
+        window: Optional[int] = None,
+    ):
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise ValueError(f"duplicate attribute names in schema {self._attributes}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.name = name
+        self.window = window
+        self._all_rows: List[Row] = []
+        # Liveness is membership in this ordered id set; deleted rows keep
+        # their slot in _all_rows (tombstoning by omission).
+        self._live: Dict[int, None] = {}
+        self._columns: Optional[List[_DynamicColumn]] = (
+            [_DynamicColumn() for _ in self._attributes] if np is not None else None
+        )
+        self._trackers: List[object] = []
+        self._snapshot_cache: Optional[Relation] = None
+        self._positions_cache: Optional[Dict[int, int]] = None
+        self.append(rows)
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, window: Optional[int] = None
+    ) -> "DynamicRelation":
+        """A dynamic view over a copy of ``relation``'s rows.
+
+        The dynamic relation *owns* its store: it copies the row list and
+        builds its own encoding, so mutations never reach the source
+        relation or its cached columnar view / frequency caches.
+        """
+        return cls(relation.attributes, relation.rows(), name=relation.name, window=window)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def num_rows(self) -> int:
+        """Number of *live* rows."""
+        return len(self._live)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def is_live(self, row_id: int) -> bool:
+        return row_id in self._live
+
+    def row(self, row_id: int) -> Row:
+        """The value tuple of a row id (live or tombstoned)."""
+        return self._all_rows[row_id]
+
+    def live_ids(self) -> List[int]:
+        """Live row ids in ascending (append) order."""
+        return list(self._live)
+
+    def live_items(self) -> Iterator[Tuple[int, Row]]:
+        """``(row_id, row)`` pairs of the live rows, in ascending id order."""
+        for row_id in self._live:
+            yield row_id, self._all_rows[row_id]
+
+    def live_positions(self) -> Dict[int, int]:
+        """Row id -> snapshot position of every live row (cached per epoch)."""
+        if self._positions_cache is None:
+            self._positions_cache = {
+                row_id: position for position, row_id in enumerate(self._live)
+            }
+        return self._positions_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = self.name or "DynamicRelation"
+        return (
+            f"<{label}: {self.num_rows} live rows "
+            f"({len(self._all_rows)} appended) x {len(self._attributes)} attributes>"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, rows: Iterable[Sequence[object]]) -> List[int]:
+        """Append rows, returning their assigned ids (window may evict)."""
+        arity = len(self._attributes)
+        assigned: List[int] = []
+        for row in rows:
+            value_tuple = tuple(row)
+            if len(value_tuple) != arity:
+                raise ValueError(
+                    f"row {value_tuple!r} has arity {len(value_tuple)}, "
+                    f"expected {arity} for schema {self._attributes}"
+                )
+            row_id = len(self._all_rows)
+            self._all_rows.append(value_tuple)
+            self._live[row_id] = None
+            if self._columns is not None:
+                for column, value in zip(self._columns, value_tuple):
+                    column.append(value)
+            self._invalidate()
+            for tracker in self._trackers:
+                tracker._on_insert(row_id, value_tuple)
+            assigned.append(row_id)
+            if self.window is not None and len(self._live) > self.window:
+                self._delete_one(next(iter(self._live)))
+        return assigned
+
+    def delete(self, row_ids: Iterable[int]) -> None:
+        """Tombstone live rows by id (raises on unknown or already-dead ids)."""
+        for row_id in row_ids:
+            self._delete_one(row_id)
+
+    def _delete_one(self, row_id: int) -> None:
+        if row_id not in self._live:
+            raise KeyError(f"row id {row_id} is not live (deleted, evicted, or never assigned)")
+        del self._live[row_id]
+        self._invalidate()
+        row = self._all_rows[row_id]
+        for tracker in self._trackers:
+            tracker._on_delete(row_id, row)
+
+    def _invalidate(self) -> None:
+        self._snapshot_cache = None
+        self._positions_cache = None
+
+    # ------------------------------------------------------------------
+    # Trackers
+    # ------------------------------------------------------------------
+    def track(self, fd) -> "IncrementalFdStatistics":
+        """Maintain the sufficient statistics of ``fd`` under mutations.
+
+        Tracker constructors self-register (direct construction works
+        too); this method is the discoverable front door.
+        """
+        from repro.stream.statistics import IncrementalFdStatistics
+
+        return IncrementalFdStatistics(self, fd)
+
+    def track_partition(self, attributes, **options) -> "IncrementalPartition":
+        """Maintain the stripped partition of ``attributes`` under mutations.
+
+        ``options`` are forwarded to :class:`IncrementalPartition`
+        (``rebuild_fraction`` / ``rebuild_min`` tune the cost model).
+        """
+        from repro.stream.partition import IncrementalPartition
+
+        return IncrementalPartition(self, attributes, **options)
+
+    def _register(self, tracker: object) -> None:
+        """Subscribe a tracker to mutation deltas (called by constructors)."""
+        self._trackers.append(tracker)
+
+    def untrack(self, tracker: object) -> None:
+        """Stop delivering deltas to a tracker."""
+        self._trackers.remove(tracker)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Relation:
+        """The current live rows as an immutable :class:`Relation`.
+
+        Cached until the next mutation.  When the dynamic encoding
+        exists, the snapshot's columnar cache is pre-seeded from the
+        live slice of the dynamic code arrays (see
+        :func:`_redensify_column`), so ``snapshot().columnar()`` costs a
+        few vectorised passes instead of the O(rows x attributes)
+        Python encoding loop.
+        """
+        if self._snapshot_cache is None:
+            relation = Relation(
+                self._attributes,
+                (self._all_rows[row_id] for row_id in self._live),
+                name=self.name,
+            )
+            if self._columns is not None:
+                relation._columnar_cache = self._columnar_view(relation)
+            self._snapshot_cache = relation
+        return self._snapshot_cache
+
+    def _columnar_view(self, relation: Relation):
+        """Re-densified columnar view of the live rows (numpy only)."""
+        from repro.relation.columnar import ColumnarRelation
+
+        live = np.fromiter(self._live, dtype=np.int64, count=len(self._live))
+        columns = {
+            attribute: _redensify_column(column, live)
+            for attribute, column in zip(self._attributes, self._columns)
+        }
+        return ColumnarRelation(self._attributes, relation._rows, columns)
+
+
+def _redensify_column(column: _DynamicColumn, live: "np.ndarray"):
+    """First-occurrence re-densification of a dynamic column's live slice.
+
+    Historical codes are first-occurrence-ordered over *all* appended
+    rows; after deletions the live slice may skip codes entirely or
+    first-encounter them in a different order.  This maps the live slice
+    to exactly what :meth:`ColumnarRelation.encode` would assign on the
+    snapshot: dense ``int32`` codes in live-first-occurrence order, NULL
+    staying ``-1``, plus the matching decode table, first-occurrence
+    positions and null count.
+    """
+    from repro.relation.columnar import NULL_CODE, _EncodedColumn
+
+    historical = column.codes[: column.length][live]
+    non_null = historical >= 0
+    null_count = int(historical.shape[0] - np.count_nonzero(non_null))
+    selected = historical if null_count == 0 else historical[non_null]
+    unique, first, inverse = np.unique(selected, return_index=True, return_inverse=True)
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    dense = rank[inverse].astype(np.int32)
+    if null_count == 0:
+        codes = dense
+        first_positions = first[order]
+    else:
+        codes = np.full(historical.shape[0], NULL_CODE, dtype=np.int32)
+        codes[non_null] = dense
+        first_positions = np.flatnonzero(non_null)[first[order]]
+    values = [column.values[code] for code in unique[order].tolist()]
+    return _EncodedColumn(codes, values, first_positions.tolist(), null_count)

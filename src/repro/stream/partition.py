@@ -1,0 +1,188 @@
+"""Incremental stripped-partition maintenance.
+
+:class:`~repro.relation.partition.StrippedPartition` is position-based:
+its clusters hold snapshot positions and its probe table maps position ->
+cluster id, neither of which survives a deletion (every later position
+shifts).  :class:`IncrementalPartition` therefore maintains the
+partition's *generator* instead — a value-keyed probe table
+``value tuple -> {row id, ...}`` over the stable row ids of a
+:class:`~repro.stream.dynamic.DynamicRelation` — and materialises a
+position-based :class:`StrippedPartition` on demand.
+
+Cost model:
+
+* **Inserts** are applied eagerly: one probe of the value-keyed table
+  per row, O(1) — the dynamic analogue of probing a cached probe table,
+  except new values can open new clusters (a position-keyed table could
+  not admit them).
+* **Deletes** are buffered.  Replaying the buffer costs one O(1) probe
+  per entry, a full rebuild costs one pass over the live rows; the
+  buffer is replayed while it is small and the partition is rebuilt from
+  scratch once ``|pending| >= max(rebuild_min, rebuild_fraction * live)``
+  — delete-heavy churn (window turnover, bulk expiry) then pays one
+  O(live) pass instead of per-row bookkeeping, and the rebuild also
+  sheds whatever id-set fragmentation the churn accumulated.  The
+  ``rebuilds`` / ``applied_deletes`` / ``applied_inserts`` counters
+  expose which path ran.
+
+Partitions treat NULL as an ordinary value, exactly like
+:meth:`StrippedPartition.from_relation` — no NULL fall-through here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.relation.attribute import canonical_attributes, validate_attributes
+from repro.relation.partition import StrippedPartition
+from repro.relation.relation import Row
+
+#: Replay-vs-rebuild switch: rebuild when the pending-delete buffer
+#: reaches this fraction of the live row count ...
+_REBUILD_FRACTION = 0.5
+#: ... but never for buffers smaller than this (replay is always cheap there).
+_REBUILD_MIN = 1024
+
+
+class IncrementalPartition:
+    """The stripped partition of one attribute set, maintained under mutations.
+
+    Create via :meth:`DynamicRelation.track_partition` (or directly —
+    the constructor self-registers for mutation deltas).  Clusters are
+    value-keyed id sets; :meth:`as_stripped` materialises the classical
+    position-based partition of the current snapshot, identical
+    (clusters, error, probe semantics) to
+    ``StrippedPartition.from_relation(dynamic.snapshot(), attributes)``.
+    """
+
+    def __init__(
+        self,
+        dynamic,
+        attributes: Union[Iterable[str], str],
+        rebuild_fraction: float = _REBUILD_FRACTION,
+        rebuild_min: int = _REBUILD_MIN,
+    ):
+        self.attributes = validate_attributes(
+            canonical_attributes(attributes), dynamic.attributes, "tracked partition"
+        )
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ValueError(f"rebuild_fraction must be in (0, 1], got {rebuild_fraction}")
+        self._dynamic = dynamic
+        attribute_positions = {a: i for i, a in enumerate(dynamic.attributes)}
+        self._indices: Tuple[int, ...] = tuple(
+            attribute_positions[a] for a in self.attributes
+        )
+        self._rebuild_fraction = rebuild_fraction
+        self._rebuild_min = rebuild_min
+        # Value-keyed probe table: value tuple -> ordered id set.  Inner
+        # dicts give O(1) insert *and* delete while preserving insertion
+        # (= ascending id) order.
+        self._groups: Dict[Tuple, Dict[int, None]] = {}
+        self._pending: List[Tuple[int, Tuple]] = []
+        self.rebuilds = 0
+        self.applied_inserts = 0
+        self.applied_deletes = 0
+        self._rebuild()
+        dynamic._register(self)
+
+    def _value(self, row: Row) -> Tuple:
+        return tuple(row[i] for i in self._indices)
+
+    # ------------------------------------------------------------------
+    # Delta application (called by DynamicRelation)
+    # ------------------------------------------------------------------
+    def _on_insert(self, row_id: int, row: Row) -> None:
+        self._groups.setdefault(self._value(row), {})[row_id] = None
+        self.applied_inserts += 1
+
+    def _on_delete(self, row_id: int, row: Row) -> None:
+        self._pending.append((row_id, self._value(row)))
+
+    # ------------------------------------------------------------------
+    # Lazy delete replay / rebuild
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Apply buffered deletes (replay) or rebuild, per the cost model."""
+        if not self._pending:
+            return
+        threshold = max(
+            self._rebuild_min, int(self._rebuild_fraction * self._dynamic.num_rows)
+        )
+        if len(self._pending) >= threshold:
+            self._rebuild()
+            self.rebuilds += 1
+        else:
+            groups = self._groups
+            for row_id, value in self._pending:
+                bucket = groups[value]
+                del bucket[row_id]
+                if not bucket:
+                    del groups[value]
+                self.applied_deletes += 1
+        self._pending.clear()
+
+    def _rebuild(self) -> None:
+        groups: Dict[Tuple, Dict[int, None]] = {}
+        for row_id, row in self._dynamic.live_items():
+            groups.setdefault(self._value(row), {})[row_id] = None
+        self._groups = groups
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """Equivalence classes (including singletons) of the live rows."""
+        self.flush()
+        return len(self._groups)
+
+    def cluster_ids(self) -> List[Tuple[int, ...]]:
+        """Non-singleton clusters as tuples of *row ids* (ascending)."""
+        self.flush()
+        return [
+            tuple(bucket) for bucket in self._groups.values() if len(bucket) >= 2
+        ]
+
+    def as_stripped(self) -> StrippedPartition:
+        """The classical position-based stripped partition of the snapshot.
+
+        Translation from stable row ids to snapshot positions is one
+        O(live) mapping (cached on the dynamic relation per mutation
+        epoch); the grouping work itself was already paid incrementally.
+        """
+        self.flush()
+        positions = self._dynamic.live_positions()
+        clusters = [
+            [positions[row_id] for row_id in bucket]
+            for bucket in self._groups.values()
+            if len(bucket) >= 2
+        ]
+        return StrippedPartition(
+            self._dynamic.num_rows, clusters, attributes=self.attributes
+        )
+
+    def error(self) -> float:
+        """The TANE error of the current live rows (no materialisation)."""
+        self.flush()
+        covered = 0
+        stripped = 0
+        for bucket in self._groups.values():
+            size = len(bucket)
+            if size >= 2:
+                covered += size
+                stripped += 1
+        live = self._dynamic.num_rows
+        if live == 0:
+            return 0.0
+        return (covered - stripped) / live
+
+    def is_key(self) -> bool:
+        self.flush()
+        return all(len(bucket) < 2 for bucket in self._groups.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = ",".join(self.attributes) or "?"
+        return (
+            f"<IncrementalPartition over {label}: {len(self._groups)} groups, "
+            f"{len(self._pending)} pending deletes>"
+        )

@@ -1,0 +1,95 @@
+"""Figure generation from curves.csv artifacts (matplotlib optional)."""
+
+import json
+
+import pytest
+
+from repro.experiments import plotting
+from repro.experiments.plotting import (
+    MATPLOTLIB_MISSING,
+    discover_curve_files,
+    load_curves,
+    run_plot,
+)
+
+FIXTURE = """measure,step,parameter_value,mean_positive_score,mean_negative_score
+g3,0,0.0,0.99,0.4
+g3,1,0.5,0.95,0.41
+rho,1,0.5,0.9,0.3
+rho,0,0.0,0.97,0.28
+"""
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results" / "err"
+    directory.mkdir(parents=True)
+    (directory / "curves.csv").write_text(FIXTURE)
+    (directory / "summary.json").write_text(json.dumps({"parameter_name": "error_rate"}))
+    return tmp_path / "results"
+
+
+def test_load_curves_groups_and_sorts_by_step(results_dir):
+    curves = load_curves(results_dir / "err" / "curves.csv")
+    assert set(curves) == {"g3", "rho"}
+    assert [point["step"] for point in curves["rho"]] == [0.0, 1.0]
+    assert curves["g3"][0] == {
+        "step": 0.0,
+        "parameter_value": 0.0,
+        "mean_positive_score": 0.99,
+        "mean_negative_score": 0.4,
+    }
+
+
+def test_load_curves_rejects_foreign_csv(tmp_path):
+    path = tmp_path / "not_curves.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ValueError, match="not a curves.csv artifact"):
+        load_curves(path)
+
+
+def test_discover_curve_files(results_dir, tmp_path):
+    assert discover_curve_files(results_dir) == [
+        ("err", results_dir / "err" / "curves.csv")
+    ]
+    assert discover_curve_files(tmp_path / "missing") == []
+
+
+def test_run_plot_without_matplotlib_skips_cleanly(results_dir, monkeypatch, capsys):
+    monkeypatch.setattr(plotting, "matplotlib_available", lambda: False)
+    payload = run_plot(results_dir=str(results_dir), image_format="png")
+    assert payload["rendered"] == []
+    assert payload["skipped"] == ["err"]
+    assert payload["matplotlib_available"] is False
+    assert MATPLOTLIB_MISSING in capsys.readouterr().out
+    assert not list(results_dir.glob("**/*.png"))
+
+
+def test_run_plot_rejects_unknown_format(results_dir):
+    with pytest.raises(ValueError, match="unknown plot format"):
+        run_plot(results_dir=str(results_dir), image_format="bmp")
+
+
+def test_run_plot_renders_when_matplotlib_present(results_dir):
+    pytest.importorskip("matplotlib")
+    payload = run_plot(results_dir=str(results_dir), image_format="svg")
+    assert payload["rendered"] == [str(results_dir / "err" / "err.svg")]
+    assert (results_dir / "err" / "err.svg").read_text().lstrip().startswith("<?xml")
+
+
+def test_cli_plot_mode_reports_missing_artifacts(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--plot", "--output-dir", str(tmp_path / "empty")]) == 0
+    assert "no curves.csv artifacts" in capsys.readouterr().out
+
+
+def test_cli_plot_mode_over_fixture(results_dir, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--plot", "--output-dir", str(results_dir)]) == 0
+    out = capsys.readouterr().out
+    if plotting.matplotlib_available():  # pragma: no cover - env-dependent
+        assert "rendered:" in out
+    else:
+        assert "skipped (no matplotlib): err" in out

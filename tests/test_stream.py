@@ -1,0 +1,476 @@
+"""The ``repro.stream`` subsystem: incremental maintenance parity.
+
+The contract under test is the streaming analogue of the backend
+bit-identity contract: after *any* interleaving of appends and deletes,
+
+* :meth:`IncrementalFdStatistics.statistics` is ``==``-identical — same
+  counts, same ``Counter`` insertion order, same scores under all
+  fourteen measures — to a from-scratch ``FdStatistics.compute`` on the
+  snapshot, on both backends;
+* :meth:`IncrementalPartition.as_stripped` equals
+  ``StrippedPartition.from_relation`` on the snapshot;
+* the snapshot's pre-seeded columnar view is indistinguishable from a
+  fresh ``ColumnarRelation.encode``.
+
+Random workloads include NULLs (the Section VI-A fall-through), novel
+values that grow the dynamic code tables past the initial dictionary,
+deletions of first occurrences (the order-disturbing case), and window
+evictions.  Tests that need numpy are marked; the remainder also run in
+the no-numpy CI job.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import all_measures
+from repro.core.statistics import FdStatistics
+from repro.relation import FunctionalDependency, Relation
+from repro.relation.partition import StrippedPartition
+from repro.stream import DynamicRelation, IncrementalPartition
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+MEASURES = all_measures(expectation="exact")
+
+
+# ----------------------------------------------------------------------
+# Random workload generation (pure ``random``: runs without numpy)
+# ----------------------------------------------------------------------
+def random_workload(seed: int, steps: int = 25):
+    """A dynamic relation plus a deterministic mutation script.
+
+    Yields the dynamic relation after each mutation step.  Appended rows
+    mix NULLs, skewed small domains, and *novel* values never seen at
+    construction time (forcing the dynamic dictionary to grow).
+    """
+    rng = random.Random(seed)
+    attributes = ["A", "B", "C"][: rng.randint(2, 3)]
+    novel = [0]
+
+    def random_row():
+        values = []
+        for _ in attributes:
+            roll = rng.random()
+            if roll < 0.15:
+                values.append(None)
+            elif roll < 0.25:
+                novel[0] += 1
+                values.append(f"novel-{novel[0]}")
+            else:
+                values.append(rng.randint(0, 5))
+        return tuple(values)
+
+    initial = [random_row() for _ in range(rng.randint(0, 25))]
+    window = rng.choice([None, None, rng.randint(5, 40)])
+    dynamic = DynamicRelation(attributes, initial, name=f"stream-{seed}", window=window)
+
+    def script():
+        for _ in range(steps):
+            if rng.random() < 0.6 or not dynamic.num_rows:
+                dynamic.append([random_row() for _ in range(rng.randint(1, 5))])
+            else:
+                live = dynamic.live_ids()
+                dynamic.delete(rng.sample(live, rng.randint(1, min(4, len(live)))))
+            yield dynamic
+
+    return dynamic, script()
+
+
+def assert_statistics_identical(left: FdStatistics, right: FdStatistics) -> None:
+    """Full structural equality, including Counter insertion order."""
+    assert left.num_rows == right.num_rows
+    assert list(left.xy_counts.items()) == list(right.xy_counts.items())
+    assert list(left.x_counts.items()) == list(right.x_counts.items())
+    assert list(left.y_counts.items()) == list(right.y_counts.items())
+    assert list(left.full_tuple_counts.items()) == list(right.full_tuple_counts.items())
+    assert list(left.groups) == list(right.groups)
+    for key in left.groups:
+        assert list(left.groups[key].items()) == list(right.groups[key].items())
+
+
+def reference_backends():
+    return ("python", "numpy") if HAVE_NUMPY else ("python",)
+
+
+# ----------------------------------------------------------------------
+# Incremental statistics parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(25))
+def test_incremental_statistics_parity_under_interleavings(seed):
+    dynamic, script = random_workload(seed)
+    fd = FunctionalDependency(dynamic.attributes[:1], dynamic.attributes[-1])
+    tracker = dynamic.track(fd)
+    for step, _ in enumerate(script):
+        incremental = tracker.statistics()
+        snapshot = dynamic.snapshot()
+        for backend in reference_backends():
+            # A pristine relation (no pre-seeded columnar cache) keeps the
+            # reference computation fully independent of the stream path.
+            pristine = Relation(snapshot.attributes, snapshot.rows(), name=dynamic.name)
+            reference = FdStatistics.compute(pristine, fd, backend=backend)
+            assert_statistics_identical(incremental, reference)
+            for name, measure in MEASURES.items():
+                assert measure.score_from_statistics(
+                    incremental
+                ) == measure.score_from_statistics(reference), (seed, step, backend, name)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_incremental_statistics_parity_multi_attribute_lhs(seed):
+    dynamic, script = random_workload(seed)
+    if len(dynamic.attributes) < 3:
+        pytest.skip("workload drew a 2-attribute schema")
+    fd = FunctionalDependency(dynamic.attributes[:2], dynamic.attributes[-1])
+    tracker = dynamic.track(fd)
+    for _ in script:
+        pass
+    reference = FdStatistics.compute(dynamic.snapshot(), fd, backend="python")
+    assert_statistics_identical(tracker.statistics(), reference)
+
+
+def test_null_fall_through_matches_restricted_compute():
+    dynamic = DynamicRelation(["X", "Y"], [(None, 1), ("a", None), ("a", 1), ("a", 2)])
+    tracker = dynamic.track(FunctionalDependency("X", "Y"))
+    assert tracker.num_rows == 2  # NULL rows never enter the restricted counts
+    dynamic.delete([0])  # deleting a NULL row must not touch the counts
+    assert tracker.num_rows == 2
+    reference = FdStatistics.compute(dynamic.snapshot(), FunctionalDependency("X", "Y"))
+    assert_statistics_identical(tracker.statistics(), reference)
+
+
+def test_first_occurrence_deletion_reorders_like_recompute():
+    """Deleting a key's first occurrence must reorder the counters.
+
+    Rows: a, b, a — Counter order [a, b].  Deleting the first row makes
+    the live order b, a; a from-scratch pass inserts b first, and so
+    must the incremental counter.
+    """
+    dynamic = DynamicRelation(["X", "Y"], [("a", 1), ("b", 1), ("a", 1)])
+    tracker = dynamic.track(FunctionalDependency("X", "Y"))
+    assert [x for (x, _y) in tracker.statistics().xy_counts] == [("a",), ("b",)]
+    dynamic.delete([0])
+    assert [x for (x, _y) in tracker.statistics().xy_counts] == [("b",), ("a",)]
+    reference = FdStatistics.compute(dynamic.snapshot(), FunctionalDependency("X", "Y"))
+    assert_statistics_identical(tracker.statistics(), reference)
+
+
+def test_vanished_key_reappears_at_the_end():
+    dynamic = DynamicRelation(["X", "Y"], [("a", 1), ("b", 1)])
+    tracker = dynamic.track(FunctionalDependency("X", "Y"))
+    dynamic.delete([0])  # key a vanishes entirely
+    dynamic.append([("a", 1)])  # and reappears after b
+    assert [x for (x, _y) in tracker.statistics().xy_counts] == [("b",), ("a",)]
+    reference = FdStatistics.compute(dynamic.snapshot(), FunctionalDependency("X", "Y"))
+    assert_statistics_identical(tracker.statistics(), reference)
+
+
+def test_code_table_growth_past_initial_dictionary():
+    """Values never seen at construction must encode and score correctly."""
+    dynamic = DynamicRelation(["X", "Y"], [(i % 4, i % 2) for i in range(20)])
+    tracker = dynamic.track(FunctionalDependency("X", "Y"))
+    dynamic.append([(f"fresh-{i}", i) for i in range(30)])  # all novel, both sides
+    snapshot = dynamic.snapshot()
+    reference = FdStatistics.compute(snapshot, FunctionalDependency("X", "Y"))
+    assert_statistics_identical(tracker.statistics(), reference)
+    assert snapshot.distinct_count("X") == 4 + 30
+    if HAVE_NUMPY:
+        assert snapshot.columnar().cardinality("X") == 4 + 30
+
+
+# ----------------------------------------------------------------------
+# Dynamic relation semantics
+# ----------------------------------------------------------------------
+def test_append_returns_ids_and_validates_arity():
+    dynamic = DynamicRelation(["A", "B"])
+    assert dynamic.append([(1, 2), (3, 4)]) == [0, 1]
+    assert dynamic.append([(5, 6)]) == [2]
+    with pytest.raises(ValueError, match="arity"):
+        dynamic.append([(1, 2, 3)])
+
+
+def test_delete_rejects_dead_or_unknown_ids():
+    dynamic = DynamicRelation(["A"], [(1,), (2,)])
+    dynamic.delete([0])
+    with pytest.raises(KeyError):
+        dynamic.delete([0])  # already dead
+    with pytest.raises(KeyError):
+        dynamic.delete([99])  # never assigned
+
+
+def test_sliding_window_evicts_oldest_live_rows():
+    dynamic = DynamicRelation(["A"], [(i,) for i in range(5)], window=3)
+    assert dynamic.snapshot().rows() == [(2,), (3,), (4,)]
+    dynamic.append([(9,)])
+    assert dynamic.snapshot().rows() == [(3,), (4,), (9,)]
+    # Eviction goes through the delete path, so trackers observe it.
+    partition = dynamic.track_partition(["A"])
+    dynamic.append([(3,), (3,)])
+    assert dynamic.snapshot().rows() == [(9,), (3,), (3,)]
+    reference = StrippedPartition.from_relation(dynamic.snapshot(), ["A"])
+    assert partition.as_stripped().clusters == reference.clusters
+
+
+def test_window_rejects_nonpositive_sizes():
+    with pytest.raises(ValueError, match="window"):
+        DynamicRelation(["A"], window=0)
+
+
+def test_snapshot_is_cached_until_mutation():
+    dynamic = DynamicRelation(["A"], [(1,)])
+    first = dynamic.snapshot()
+    assert dynamic.snapshot() is first
+    dynamic.append([(2,)])
+    second = dynamic.snapshot()
+    assert second is not first
+    # The old snapshot is immutable history, not a stale view.
+    assert first.rows() == [(1,)]
+    assert second.rows() == [(1,), (2,)]
+
+
+# ----------------------------------------------------------------------
+# Stale-cache guard
+# ----------------------------------------------------------------------
+def test_relation_invalidate_caches_prevents_stale_reads():
+    relation = Relation(["A", "B"], [("x", 1), ("y", 2)])
+    assert relation.frequencies("A")[("x",)] == 1
+    if HAVE_NUMPY:
+        assert relation.columnar().num_rows == 2
+    # In-place mutation of the row store (the documented hazard): the
+    # cached frequencies and columnar view now answer for the old rows.
+    relation._rows.append(("x", 3))
+    assert relation.frequencies("A")[("x",)] == 1  # stale read!
+    relation.invalidate_caches()
+    assert relation.frequencies("A")[("x",)] == 2
+    assert relation.distinct_count("B") == 3
+    if HAVE_NUMPY:
+        assert relation.columnar().num_rows == 3
+
+
+def test_dynamic_relation_owns_its_store():
+    """Mutating the dynamic view must never reach the source relation."""
+    source = Relation(["A", "B"], [("x", 1), ("y", 2)], name="src")
+    source.frequencies("A")
+    if HAVE_NUMPY:
+        source.columnar()
+    dynamic = DynamicRelation.from_relation(source)
+    dynamic.append([("z", 3)])
+    dynamic.delete([0])
+    assert source.rows() == [("x", 1), ("y", 2)]
+    assert source.frequencies("A")[("x",)] == 1  # source caches still valid
+    if HAVE_NUMPY:
+        assert source.columnar().num_rows == 2
+    assert dynamic.snapshot().rows() == [("y", 2), ("z", 3)]
+
+
+# ----------------------------------------------------------------------
+# Pre-seeded columnar view (numpy)
+# ----------------------------------------------------------------------
+@requires_numpy
+@pytest.mark.parametrize("seed", range(10))
+def test_preseeded_columnar_matches_fresh_encode(seed):
+    from repro.relation.columnar import ColumnarRelation
+
+    dynamic, script = random_workload(seed)
+    for _ in script:
+        pass
+    snapshot = dynamic.snapshot()
+    preseeded = snapshot._columnar_cache
+    assert preseeded is not None and snapshot.columnar() is preseeded
+    fresh = ColumnarRelation.encode(Relation(snapshot.attributes, snapshot.rows()))
+    for attribute in snapshot.attributes:
+        assert preseeded.codes(attribute).tolist() == fresh.codes(attribute).tolist()
+        assert preseeded.decode_table(attribute) == fresh.decode_table(attribute)
+        assert preseeded.null_count(attribute) == fresh.null_count(attribute)
+        assert list(preseeded._column(attribute).first_rows) == list(
+            fresh._column(attribute).first_rows
+        )
+
+
+def test_snapshot_without_numpy_has_no_columnar_cache(monkeypatch):
+    import repro.stream.dynamic as dynamic_module
+
+    monkeypatch.setattr(dynamic_module, "np", None)
+    dynamic = DynamicRelation(["A"], [(1,), (1,)])
+    assert dynamic._columns is None
+    assert dynamic.snapshot()._columnar_cache is None
+    partition = dynamic.track_partition(["A"])
+    dynamic.append([(2,)])
+    reference = StrippedPartition.from_relation(dynamic.snapshot(), ["A"])
+    assert partition.as_stripped().clusters == reference.clusters
+
+
+# ----------------------------------------------------------------------
+# Incremental partitions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(15))
+def test_incremental_partition_parity_under_interleavings(seed):
+    dynamic, script = random_workload(seed)
+    attributes = list(dynamic.attributes[:2])
+    partition = dynamic.track_partition(attributes)
+    for step, _ in enumerate(script):
+        reference = StrippedPartition.from_relation(dynamic.snapshot(), attributes)
+        materialised = partition.as_stripped()
+        assert materialised.clusters == reference.clusters, (seed, step)
+        assert materialised.error() == reference.error()
+        assert partition.error() == reference.error()
+        assert partition.is_key() == reference.is_key()
+
+
+def test_incremental_partition_cost_model_rebuilds_on_heavy_churn():
+    dynamic = DynamicRelation(["A"], [(i % 5,) for i in range(100)])
+    # Direct construction self-registers, exactly like track_partition().
+    partition = IncrementalPartition(dynamic, ["A"], rebuild_fraction=0.5, rebuild_min=4)
+    # Small batch: replayed incrementally.
+    dynamic.delete([0, 1])
+    partition.flush()
+    assert partition.rebuilds == 0 and partition.applied_deletes == 2
+    # Delete-heavy churn (more than half the live rows): full rebuild.
+    dynamic.delete(dynamic.live_ids()[:60])
+    partition.flush()
+    assert partition.rebuilds == 1 and partition.applied_deletes == 2
+    reference = StrippedPartition.from_relation(dynamic.snapshot(), ["A"])
+    assert partition.as_stripped().clusters == reference.clusters
+    # track_partition forwards the cost-model options.
+    tuned = dynamic.track_partition(["A"], rebuild_fraction=0.25, rebuild_min=2)
+    dynamic.delete(dynamic.live_ids()[:20])
+    tuned.flush()
+    assert tuned.rebuilds == 1
+
+
+def test_incremental_partition_validates_inputs():
+    dynamic = DynamicRelation(["A", "B"], [(1, 2)])
+    with pytest.raises(KeyError):
+        dynamic.track_partition(["missing"])
+    with pytest.raises(ValueError, match="rebuild_fraction"):
+        IncrementalPartition(dynamic, ["A"], rebuild_fraction=0.0)
+
+
+def test_tracked_fd_validates_attributes():
+    dynamic = DynamicRelation(["A", "B"], [(1, 2)])
+    with pytest.raises(KeyError):
+        dynamic.track(FunctionalDependency("A", "missing"))
+
+
+def test_untrack_stops_delta_delivery():
+    dynamic = DynamicRelation(["A", "B"], [(1, 2)])
+    tracker = dynamic.track(FunctionalDependency("A", "B"))
+    dynamic.untrack(tracker)
+    dynamic.append([(3, 4)])
+    assert tracker.num_rows == 1  # frozen at untrack time
+
+
+# ----------------------------------------------------------------------
+# Streaming benchmark driver
+# ----------------------------------------------------------------------
+@requires_numpy
+def test_streaming_driver_smoke(tmp_path):
+    from repro.experiments.streaming import StreamingConfig, run_streaming
+
+    bench_path = tmp_path / "BENCH_streaming.json"
+    payload = run_streaming(
+        StreamingConfig(sizes=(150, 400), batches=3, batch_size=8, mc_samples=5),
+        output_dir=str(tmp_path / "results"),
+        bench_path=str(bench_path),
+    )
+    assert payload["experiment"] == "streaming"
+    assert payload["scores_verified"] is True
+    assert [entry["num_rows"] for entry in payload["relations"]] == [150, 400]
+    for entry in payload["relations"]:
+        assert set(entry["backends"]) == set(payload["backends"])
+        for cell in entry["backends"].values():
+            assert cell["incremental_seconds_median"] >= 0.0
+            assert cell["statistics_speedup"] is None or cell["statistics_speedup"] > 0.0
+            assert len(cell["incremental_measure_seconds_median"]) == 14
+            assert len(cell["recompute_measure_seconds_median"]) == 14
+    assert payload["largest"]["num_rows"] == 400
+    assert payload["headline_backend"] in payload["backends"]
+    assert payload["speedup"] is not None and payload["speedup"] > 0.0
+    assert (tmp_path / "results" / "streaming" / "summary.json").exists()
+    assert (tmp_path / "results" / "streaming" / "summary.csv").exists()
+    record = json.loads(bench_path.read_text())
+    assert record["relations"][0]["name"] == "runtime[150]"
+
+
+@requires_numpy
+def test_streaming_driver_single_backend(tmp_path):
+    from repro.experiments.streaming import StreamingConfig, run_streaming
+
+    payload = run_streaming(
+        StreamingConfig(sizes=(120,), backends=("python",), batches=2, mc_samples=5),
+        output_dir=None,
+        bench_path=None,
+    )
+    assert list(payload["relations"][0]["backends"]) == ["python"]
+    assert payload["headline_backend"] == "python"
+
+
+@requires_numpy
+def test_streaming_driver_rejects_unavailable_backend():
+    from repro.experiments.streaming import StreamingConfig
+
+    with pytest.raises(ValueError, match="not available"):
+        StreamingConfig(backends=("polars",)).resolved_backends()
+
+
+# ----------------------------------------------------------------------
+# Monitoring CLI
+# ----------------------------------------------------------------------
+def test_stream_cli_monitors_csv(tmp_path, capsys):
+    from repro.stream.__main__ import main
+
+    csv_path = tmp_path / "stream.csv"
+    rows = ["A,B"] + [f"{i % 3},{i % 2}" for i in range(40)]
+    csv_path.write_text("\n".join(rows) + "\n")
+    exit_code = main(
+        [
+            str(csv_path),
+            "--fd",
+            "A -> B",
+            "--batch-size",
+            "10",
+            "--window",
+            "25",
+            "--measures",
+            "g3,mu_plus",
+            "--verify",
+        ]
+    )
+    assert exit_code == 0
+    out_lines = [
+        line for line in capsys.readouterr().out.splitlines() if line.startswith("{")
+    ]
+    assert len(out_lines) == 4  # seed batch + 3 streamed batches
+    for line in out_lines:
+        record = json.loads(line)
+        assert record["verified"] is True
+        assert set(record["scores"]) == {"g3", "mu_plus"}
+        assert record["live_rows"] <= 25
+
+
+def test_stream_cli_rejects_unknown_fd_attribute(tmp_path, capsys):
+    from repro.stream.__main__ import main
+
+    csv_path = tmp_path / "stream.csv"
+    csv_path.write_text("A,B\n1,2\n")
+    assert main([str(csv_path), "--fd", "A -> missing"]) == 2
+    assert "unknown attribute" in capsys.readouterr().err
+
+
+def test_stream_cli_validates_batch_size_and_measures(tmp_path, capsys):
+    from repro.stream.__main__ import main
+
+    csv_path = tmp_path / "stream.csv"
+    csv_path.write_text("A,B\n1,2\n")
+    assert main([str(csv_path), "--fd", "A -> B", "--batch-size", "0"]) == 2
+    assert "--batch-size" in capsys.readouterr().err
+    assert main([str(csv_path), "--fd", "A -> B", "--measures", "nope"]) == 2
+    assert "unknown measures" in capsys.readouterr().err
