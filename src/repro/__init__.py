@@ -12,6 +12,8 @@ It provides:
 * synthetic stand-ins for the RWD real-world benchmark (:mod:`repro.rwd`);
 * measure-based AFD discovery (:mod:`repro.discovery`);
 * incremental AFD maintenance over changing relations (:mod:`repro.stream`);
+* the unified session API and profiling server (:mod:`repro.service`,
+  ``python -m repro.serve``);
 * the evaluation harness: PR-AUC, rank-at-max-recall, separation, runtimes
   (:mod:`repro.evaluation`);
 * one experiment driver per paper table and figure (:mod:`repro.experiments`).
@@ -42,7 +44,7 @@ from repro.core import (
 )
 from repro.relation import FunctionalDependency, Relation, StrippedPartition
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Subpackages (and their headline callables) exposed lazily: importing
 #: ``repro`` stays cheap while ``repro.evaluation`` / ``repro.discovery``
@@ -53,6 +55,7 @@ _LAZY_SUBMODULES = (
     "evaluation",
     "experiments",
     "rwd",
+    "service",
     "stream",
     "synthetic",
 )
@@ -67,17 +70,27 @@ _LAZY_ATTRIBUTES = {
     "DynamicRelation": "repro.stream",
     "IncrementalFdStatistics": "repro.stream",
     "IncrementalPartition": "repro.stream",
+    "AfdSession": "repro.service",
+    "ProfileRequest": "repro.service",
+    "ProfileResult": "repro.service",
+    "ScoredFd": "repro.service",
+    "StreamUpdate": "repro.service",
 }
 
 __all__ = [
     "AfdMeasure",
+    "AfdSession",
     "DynamicRelation",
     "FdStatistics",
     "FunctionalDependency",
     "IncrementalFdStatistics",
     "IncrementalPartition",
     "MeasureClass",
+    "ProfileRequest",
+    "ProfileResult",
     "Relation",
+    "ScoredFd",
+    "StreamUpdate",
     "StrippedPartition",
     "all_measures",
     "benchmark_specs",

@@ -1,0 +1,64 @@
+"""``python -m repro`` — one dispatcher for every command-line tool.
+
+Routes to the subsystem CLIs so nobody has to memorise module paths::
+
+    python -m repro discovery data.csv --max-lhs-size 2
+    python -m repro experiments --benchmark err --steps 5
+    python -m repro stream data.csv --fd "A -> B"
+    python -m repro serve --port 8765
+    python -m repro --version
+
+Each subcommand forwards its remaining arguments verbatim to the
+corresponding ``python -m repro.<name>`` entry point (which remains
+directly runnable).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import List, Optional
+
+#: Subcommand -> module whose ``main(argv)`` serves it.
+COMMANDS = {
+    "discovery": ("repro.discovery.__main__", "measure-based AFD discovery"),
+    "experiments": ("repro.experiments.__main__", "the paper's experiment drivers"),
+    "stream": ("repro.stream.__main__", "incremental monitoring of streamed relations"),
+    "serve": ("repro.service.server", "the concurrent AFD profiling server"),
+}
+
+
+def _usage() -> str:
+    lines = [
+        "usage: python -m repro [--version] <command> [options]",
+        "",
+        "commands:",
+    ]
+    for name, (_, description) in COMMANDS.items():
+        lines.append(f"  {name:<12} {description}")
+    lines.append("")
+    lines.append("run 'python -m repro <command> --help' for command options")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return 0
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage())
+        return 0 if argv else 2
+    command = argv[0]
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print(f"unknown command {command!r}\n\n{_usage()}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(entry[0])
+    return module.main(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,12 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.registry import all_measures, select_measures
-from repro.discovery.cover import minimal_cover
-from repro.discovery.single import DiscoveryResult, discover_afds
 from repro.relation.attribute import attribute_label
 from repro.relation.io import read_csv
 from repro.relation.relation import Relation
 from repro.rwd.datasets import build_dataset, dataset_keys
+from repro.service.model import DiscoveryResult
+from repro.service.session import AfdSession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,14 +132,14 @@ def _accepted_records(result: DiscoveryResult) -> List[Dict[str, object]]:
     """Flat ``measure, lhs, rhs, score, exact`` rows, best score first."""
     records: List[Dict[str, object]] = []
     for measure in result.measure_names:
-        for candidate in result.accepted(measure):
+        for scored in result.accepted(measure):
             records.append(
                 {
                     "measure": measure,
-                    "lhs": attribute_label(candidate.fd.lhs),
-                    "rhs": attribute_label(candidate.fd.rhs),
-                    "score": candidate.scores[measure],
-                    "exact": candidate.exact,
+                    "lhs": attribute_label(scored.lhs),
+                    "rhs": attribute_label(scored.rhs),
+                    "score": scored.scores[measure],
+                    "exact": scored.exact,
                 }
             )
     return records
@@ -154,17 +154,17 @@ def _json_payload(
         "num_attributes": relation.num_attributes,
         "max_lhs_size": result.max_lhs_size,
         "thresholds": result.thresholds,
-        "counters": result.counters(),
+        "counters": dict(result.counters),
         "elapsed_seconds": elapsed_seconds,
         "accepted": {
             measure: [
                 {
-                    "lhs": list(candidate.fd.lhs),
-                    "rhs": list(candidate.fd.rhs),
-                    "score": candidate.scores[measure],
-                    "exact": candidate.exact,
+                    "lhs": list(scored.lhs),
+                    "rhs": list(scored.rhs),
+                    "score": scored.scores[measure],
+                    "exact": scored.exact,
                 }
-                for candidate in result.accepted(measure)
+                for scored in result.accepted(measure)
             ]
             for measure in result.measure_names
         },
@@ -200,17 +200,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    # One front door: the CLI is a thin client of the session facade.
+    session = AfdSession(relation, measures=measures, backend=args.backend)
     started = time.perf_counter()
-    result = discover_afds(
-        relation,
-        measures=measures,
+    result = session.discover(
         threshold=args.threshold,
         max_lhs_size=args.max_lhs_size,
         g3_bound=args.g3_bound,
-        backend=args.backend,
+        minimal_cover=args.minimal_cover,
     )
-    if args.minimal_cover:
-        result = minimal_cover(result)
     elapsed = time.perf_counter() - started
     if args.format == "json":
         text = json.dumps(_json_payload(relation, result, elapsed), indent=2, sort_keys=True)
@@ -223,7 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             writer.writerow(record)
         text = buffer.getvalue()
     _write_output(text, args.output)
-    counters = result.counters()
+    counters = result.counters
     cover_note = (
         f", minimal cover dropped {counters['dropped_non_minimal']}"
         if args.minimal_cover

@@ -72,6 +72,14 @@ class PartitionCache:
         self._relation = relation
         self._partitions: Dict[Tuple[str, ...], StrippedPartition] = {}
         self._null_flags: Dict[str, bool] = {}
+        #: Cache effectiveness counters (read by ``AfdSession.cache_info``).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def relation(self) -> Relation:
+        """The relation this cache's partitions were built from."""
+        return self._relation
 
     def has_nulls(self, attribute: str) -> bool:
         cached = self._null_flags.get(attribute)
@@ -87,7 +95,9 @@ class PartitionCache:
         key = canonical_attributes(attributes)
         cached = self._partitions.get(key)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
         if len(key) == 1:
             computed = StrippedPartition.from_relation(self._relation, key)
         else:
@@ -148,6 +158,8 @@ def lattice_discover(
     rhs_attributes: Optional[Sequence[str]] = None,
     g3_bound: Optional[float] = None,
     backend: Optional[str] = None,
+    partition_cache: Optional[PartitionCache] = None,
+    statistics_provider=None,
 ) -> DiscoveryResult:
     """Score every lattice candidate ``X -> A`` with ``|X| <= max_lhs_size``.
 
@@ -159,6 +171,17 @@ def lattice_discover(
 
     ``DiscoveryResult.statistics_computed`` counts the statistics passes
     actually performed; brute force would need one per candidate.
+
+    ``partition_cache`` / ``statistics_provider`` are the artifact-sharing
+    hooks of :class:`repro.service.AfdSession`: a supplied cache (built on
+    the *same* relation) contributes and retains partitions across calls,
+    and a provider ``(relation, fd) -> (FdStatistics, computed)`` replaces
+    the direct :meth:`FdStatistics.compute` call so the session can serve
+    and keep statistics — ``computed`` is False when the provider served a
+    cache hit, keeping ``statistics_computed`` an honest count of the
+    passes actually performed.  Both hooks must be bit-identical to the
+    defaults: the provider's statistics must be exactly what ``compute``
+    would return.
     """
     if max_lhs_size < 1:
         raise ValueError(f"max_lhs_size must be >= 1, got {max_lhs_size}")
@@ -175,7 +198,11 @@ def lattice_discover(
         # it anyway, and once it exists the partition layer derives every
         # level-1 partition from the cached code arrays too.
         relation.columnar()
-    cache = PartitionCache(relation)
+    if partition_cache is not None and partition_cache.relation is not relation:
+        raise ValueError(
+            "the supplied partition_cache was built on a different relation"
+        )
+    cache = partition_cache if partition_cache is not None else PartitionCache(relation)
     result = DiscoveryResult(
         relation_name=relation.name,
         measure_names=measure_names,
@@ -218,8 +245,13 @@ def lattice_discover(
                         if 1.0 - lhs_partition.g3_error(joint) < g3_bound:
                             result.pruned_bound += 1
                             continue
-                statistics = FdStatistics.compute(relation, fd, backend=backend_name)
-                result.statistics_computed += 1
+                if statistics_provider is None:
+                    statistics = FdStatistics.compute(relation, fd, backend=backend_name)
+                    result.statistics_computed += 1
+                else:
+                    statistics, computed = statistics_provider(relation, fd)
+                    if computed:
+                        result.statistics_computed += 1
                 scores = {
                     name: measure.score_from_statistics(statistics)
                     for name, measure in measures.items()

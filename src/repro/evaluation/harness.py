@@ -37,13 +37,19 @@ def _init_worker(extra_measures: Dict[str, Callable]) -> None:
 
 
 def _score_spec(task: Tuple[TableSpec, MeasureConfig]) -> TableScore:
-    """Worker entry point: materialise one spec and score all measures."""
+    """Worker entry point: materialise one spec and score all measures.
+
+    Routed through a one-shot :class:`~repro.service.AfdSession` — the
+    same front door every other caller uses — so the statistics pass,
+    per-measure runtimes and scores follow the service cost discipline
+    (and stay bit-identical to the legacy direct-call path).
+    """
+    from repro.service.session import AfdSession
+
     spec, config = task
     table = spec.materialize()
-    measures = config.build()
-    scores, runtimes, statistics_seconds = score_with_shared_statistics(
-        table.relation, SYNTHETIC_FD, measures, backend=config.backend
-    )
+    session = AfdSession(table.relation, measures=config.build(), backend=config.backend)
+    profile = session.score(SYNTHETIC_FD)
     return TableScore(
         table=spec.name,
         benchmark=spec.benchmark,
@@ -52,9 +58,9 @@ def _score_spec(task: Tuple[TableSpec, MeasureConfig]) -> TableScore:
         positive=spec.positive,
         parameter_value=spec.parameter_value,
         num_rows=table.relation.num_rows,
-        statistics_seconds=statistics_seconds,
-        scores=scores,
-        runtimes=runtimes,
+        statistics_seconds=profile.statistics_seconds,
+        scores=profile.scores,
+        runtimes=profile.runtimes,
     )
 
 

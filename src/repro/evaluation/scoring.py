@@ -10,7 +10,6 @@ separately.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
@@ -79,20 +78,24 @@ def score_with_shared_statistics(
 ) -> tuple:
     """``(scores, runtimes, statistics_seconds)`` for one candidate FD.
 
-    The statistics object (supplied or computed here with the requested
-    ``backend``) is shared across all measures; derived quantities cached
-    on it by one measure are reused by the others, so e.g. RFI+ and
-    RFI'+ pay for the permutation expectation only once.
+    .. deprecated::
+        Thin shim over a one-shot :class:`repro.service.AfdSession`;
+        prefer ``AfdSession(relation, measures=...).score(fd)``, which
+        returns the same numbers as a typed
+        :class:`~repro.service.model.ProfileResult` and keeps the
+        statistics cached for follow-up calls.  Kept because the tuple
+        signature is the established worker contract of the evaluation
+        harness and the runtime benchmark.
+
+    The statistics object (supplied, or computed by the session with the
+    requested ``backend``) is shared across all measures; derived
+    quantities cached on it by one measure are reused by the others, so
+    e.g. RFI+ and RFI'+ pay for the permutation expectation only once.
     """
-    statistics_seconds = 0.0
-    if statistics is None:
-        start = time.perf_counter()
-        statistics = FdStatistics.compute(relation, fd, backend=backend)
-        statistics_seconds = time.perf_counter() - start
-    scores: Dict[str, float] = {}
-    runtimes: Dict[str, float] = {}
-    for name, measure in measures.items():
-        start = time.perf_counter()
-        scores[name] = measure.score_from_statistics(statistics)
-        runtimes[name] = time.perf_counter() - start
-    return scores, runtimes, statistics_seconds
+    from repro.service.session import AfdSession
+
+    session = AfdSession(relation, measures=dict(measures), backend=backend)
+    if statistics is not None:
+        session.seed_statistics(fd, statistics)
+    result = session.score(fd)
+    return result.scores, result.runtimes, result.statistics_seconds

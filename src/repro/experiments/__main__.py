@@ -40,6 +40,18 @@ from repro.experiments.runtime import (
     run_runtime,
 )
 from repro.experiments.rwde import RwdeConfig, run_rwde
+from repro.experiments.service import (
+    SMOKE_REPEATS as SERVICE_SMOKE_REPEATS,
+)
+from repro.experiments.service import (
+    SMOKE_REQUESTS,
+    SMOKE_THREADS,
+    ServiceConfig,
+    run_service,
+)
+from repro.experiments.service import (
+    SMOKE_SIZES as SERVICE_SMOKE_SIZES,
+)
 from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
 from repro.experiments.streaming import (
     SMOKE_BATCHES,
@@ -55,6 +67,7 @@ BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + (
     "properties",
     "runtime",
     "streaming",
+    "service",
     "all",
 )
 
@@ -62,6 +75,7 @@ BENCHMARK_CHOICES = SENSITIVITY_BENCHMARKS + (
 DEFAULT_BENCH_PATHS = {
     "runtime": "BENCH_runtime.json",
     "streaming": "BENCH_streaming.json",
+    "service": "BENCH_service.json",
 }
 
 
@@ -207,11 +221,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.25)",
     )
     parser.add_argument(
+        "--service-sizes",
+        default="1000,5000,20000",
+        help="comma-separated fixed relation sizes of the service benchmark "
+        "(default: 1000,5000,20000)",
+    )
+    parser.add_argument(
+        "--service-threads",
+        default="1,4,8",
+        help="comma-separated client thread counts of the service throughput "
+        "run (default: 1,4,8)",
+    )
+    parser.add_argument(
+        "--service-requests",
+        type=int,
+        default=25,
+        help="/score requests per client thread (default: 25)",
+    )
+    parser.add_argument(
+        "--service-repeats",
+        type=int,
+        default=7,
+        help="timed cold/warm requests per relation of the service benchmark "
+        "(default: 7)",
+    )
+    parser.add_argument(
         "--bench-path",
         default=None,
-        help="where the runtime/streaming benchmark record is written "
-        "(default: BENCH_runtime.json / BENCH_streaming.json at the repo "
-        "root; '-' to skip)",
+        help="where the runtime/streaming/service benchmark record is written "
+        "(default: BENCH_runtime.json / BENCH_streaming.json / "
+        "BENCH_service.json at the repo root; '-' to skip)",
     )
     parser.add_argument(
         "--smoke",
@@ -466,6 +505,64 @@ def _run_streaming(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         print(f"benchmark record: {bench_path}")
 
 
+def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
+    if args.smoke:
+        sizes: tuple = SERVICE_SMOKE_SIZES
+        threads: tuple = SMOKE_THREADS
+        requests = SMOKE_REQUESTS
+        repeats = SERVICE_SMOKE_REPEATS
+    else:
+        sizes = tuple(int(part) for part in args.service_sizes.split(",") if part.strip())
+        threads = tuple(
+            int(part) for part in args.service_threads.split(",") if part.strip()
+        )
+        requests = args.service_requests
+        repeats = args.service_repeats
+    backend = None if args.backend in (None, "auto") else args.backend
+    config = ServiceConfig(
+        sizes=sizes,
+        client_threads=threads,
+        requests_per_thread=requests,
+        repeats=repeats,
+        expectation=args.expectation,
+        mc_samples=args.mc_samples,
+        sfi_alpha=args.sfi_alpha,
+        backend=backend,
+    )
+    bench_path = _bench_path(args, "service")
+    started = time.perf_counter()
+    payload = run_service(config, output_dir=output_dir, bench_path=bench_path)
+    elapsed = time.perf_counter() - started
+    print(f"\nService benchmark (warm session vs cold recompute, {elapsed:.1f}s)")
+    header = f"{'relation':<16} {'cold ms':>9} {'warm ms':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for entry in payload["relations"]:  # type: ignore[union-attr]
+        speedup = entry["warm_speedup"]
+        print(
+            f"{entry['name']:<16} "
+            f"{entry['cold_seconds_median'] * 1000:>9.3f} "
+            f"{entry['warm_seconds_median'] * 1000:>9.3f} "
+            f"{'n/a' if speedup is None else f'{speedup:.1f}x':>8}"
+        )
+        for cell in entry["throughput"]:
+            print(
+                f"{'':<16} {cell['threads']} client thread(s): "
+                f"{cell['requests_per_second']:.0f} req/s "
+                f"({cell['requests']} requests)"
+            )
+    if payload["speedup"] is not None:
+        print(
+            f"largest relation warm-session speedup over cold per-request "
+            f"recompute: {payload['speedup']:.1f}x"
+        )
+    print("warm scores verified identical to cold recompute")
+    if output_dir is not None:
+        print(f"artifacts: {output_dir}/service/{{summary.json,summary.csv}}")
+    if bench_path is not None:
+        print(f"benchmark record: {bench_path}")
+
+
 def _run_plot(args: argparse.Namespace, output_dir: Optional[str]) -> None:
     results_dir = output_dir if output_dir is not None else "results"
     payload = run_plot(results_dir=results_dir, image_format=args.plot_format)
@@ -529,6 +626,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_runtime(args, output_dir)
     elif args.benchmark == "streaming":
         _run_streaming(args, output_dir)
+    elif args.benchmark == "service":
+        _run_service(args, output_dir)
     elif args.benchmark == "properties":
         _run_properties(args, output_dir)
     else:  # all

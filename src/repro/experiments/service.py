@@ -1,0 +1,246 @@
+"""Driver for the service benchmark: warm-session speedup + throughput.
+
+Quantifies what the ``repro.service`` front door buys over per-request
+recomputation, on the same deterministic fixed relations as the runtime
+benchmark (Table V protocol):
+
+* **cold** — a fresh :class:`~repro.service.AfdSession` per request, so
+  every request pays the full sufficient-statistics pass plus scoring
+  (today's direct-call discipline; the columnar encoding is paid once,
+  untimed, exactly like the runtime driver's warm-up);
+* **warm** — one long-lived session serving every request, so the
+  statistics object and every derived quantity cached on it (including
+  the permutation expectation) are computed once and shared; the
+  headline ``warm_speedup`` is cold-median over warm-median on the
+  largest fixed relation;
+* **throughput** — the real HTTP server on a loopback ephemeral port,
+  hammered by 1/4/8 client threads issuing ``POST /score`` requests
+  against one warm session; requests/sec plus the session's cache-hit
+  counters (proving the threads shared one artifact set) are recorded.
+
+Warm scores are asserted ``==``-identical to cold scores on every
+relation.  Artifacts: ``summary.json`` + ``summary.csv`` under
+``<output_dir>/service/`` and the compact repo-root
+``BENCH_service.json`` perf record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.io import ensure_directory, write_csv, write_json
+from repro.experiments.runtime import build_fixed_relation
+from repro.service.server import ServiceState, make_server
+from repro.service.session import AfdSession
+from repro.synthetic.generator import SYNTHETIC_FD
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that determines one service benchmark run."""
+
+    sizes: Tuple[int, ...] = (1_000, 5_000, 20_000)
+    client_threads: Tuple[int, ...] = (1, 4, 8)
+    requests_per_thread: int = 25
+    repeats: int = 7
+    seed: int = 97
+    expectation: str = "monte-carlo"
+    mc_samples: int = 50
+    sfi_alpha: float = 0.5
+    backend: Optional[str] = None
+
+    def measure_options(self) -> Dict[str, object]:
+        return {
+            "expectation": self.expectation,
+            "mc_samples": self.mc_samples,
+            "sfi_alpha": self.sfi_alpha,
+        }
+
+    def session(self, relation) -> AfdSession:
+        return AfdSession(relation, backend=self.backend, **self.measure_options())
+
+
+#: Smoke-scale override used by ``--smoke`` (CI): same code path and
+#: artifact schema, laptop-friendly sizes.
+SMOKE_SIZES: Tuple[int, ...] = (500, 2_000)
+SMOKE_THREADS: Tuple[int, ...] = (1, 2)
+SMOKE_REQUESTS = 5
+SMOKE_REPEATS = 3
+
+
+def _time_cold(relation, config: ServiceConfig) -> Tuple[List[float], Dict[str, float]]:
+    """Per-request sessions: every request recomputes the statistics."""
+    config.session(relation).score(SYNTHETIC_FD)  # untimed: pays the columnar encode
+    runs: List[float] = []
+    scores: Dict[str, float] = {}
+    for _ in range(config.repeats):
+        session = config.session(relation)
+        started = time.perf_counter()
+        result = session.score(SYNTHETIC_FD)
+        runs.append(time.perf_counter() - started)
+        scores = result.scores
+    return runs, scores
+
+
+def _time_warm(relation, config: ServiceConfig) -> Tuple[List[float], Dict[str, float], AfdSession]:
+    """One session for all requests: statistics computed once, then hits."""
+    session = config.session(relation)
+    session.score(SYNTHETIC_FD)  # untimed: populates the cache
+    runs: List[float] = []
+    scores: Dict[str, float] = {}
+    for _ in range(config.repeats):
+        started = time.perf_counter()
+        result = session.score(SYNTHETIC_FD)
+        runs.append(time.perf_counter() - started)
+        if not result.cache_hit:
+            raise RuntimeError("warm request missed the session cache")
+        scores = result.scores
+    return runs, scores, session
+
+
+def _throughput(
+    relation, config: ServiceConfig
+) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+    """Requests/sec of ``POST /score`` against the real HTTP server."""
+    state = ServiceState(backend=config.backend, measure_options=config.measure_options())
+    session = config.session(relation)
+    state.register_session(relation.name, session)
+    server, _ = make_server(state=state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}/score"
+    body = json.dumps({"relation": relation.name, "fd": str(SYNTHETIC_FD)}).encode("utf-8")
+
+    def one_request() -> None:
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+        )
+        with urllib.request.urlopen(request) as response:
+            if response.status != 200:  # pragma: no cover - server contract
+                raise RuntimeError(f"unexpected status {response.status}")
+            response.read()
+
+    results: List[Dict[str, object]] = []
+    try:
+        one_request()  # warm the session (and the thread pool) untimed
+        for threads in config.client_threads:
+            total = threads * config.requests_per_thread
+            errors: List[BaseException] = []
+
+            def worker() -> None:
+                try:
+                    for _ in range(config.requests_per_thread):
+                        one_request()
+                except BaseException as error:  # pragma: no cover - rethrown below
+                    errors.append(error)
+
+            workers = [threading.Thread(target=worker) for _ in range(threads)]
+            started = time.perf_counter()
+            for worker_thread in workers:
+                worker_thread.start()
+            for worker_thread in workers:
+                worker_thread.join()
+            elapsed = time.perf_counter() - started
+            if errors:
+                raise errors[0]
+            results.append(
+                {
+                    "threads": threads,
+                    "requests": total,
+                    "seconds": elapsed,
+                    "requests_per_second": total / elapsed if elapsed > 0 else 0.0,
+                }
+            )
+    finally:
+        server.shutdown()
+        server.server_close()
+    return results, session.cache_info()
+
+
+def run_service(
+    config: ServiceConfig = ServiceConfig(),
+    output_dir: Optional[str] = "results",
+    bench_path: Optional[str] = "BENCH_service.json",
+) -> Dict[str, object]:
+    """Run the full service benchmark and persist its artifacts."""
+    relations: List[Dict[str, object]] = []
+    for num_rows in config.sizes:
+        relation = build_fixed_relation(num_rows, config.seed)
+        cold_runs, cold_scores = _time_cold(relation, config)
+        warm_runs, warm_scores, _ = _time_warm(relation, config)
+        if warm_scores != cold_scores:
+            raise RuntimeError(
+                f"warm-session scores diverged from cold recompute on {relation.name}"
+            )
+        throughput, cache = _throughput(relation, config)
+        cold_median = median(cold_runs)
+        warm_median = median(warm_runs)
+        relations.append(
+            {
+                "name": relation.name,
+                "num_rows": relation.num_rows,
+                "cold_seconds_median": cold_median,
+                "warm_seconds_median": warm_median,
+                "warm_speedup": cold_median / warm_median if warm_median > 0 else None,
+                "cold_seconds_runs": cold_runs,
+                "warm_seconds_runs": warm_runs,
+                "throughput": throughput,
+                "cache": cache,
+            }
+        )
+    largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
+    payload: Dict[str, object] = {
+        "experiment": "service",
+        "config": asdict(config),
+        "client_threads": list(config.client_threads),
+        "scores_verified": True,
+        "relations": relations,
+        "largest": None
+        if largest is None
+        else {
+            "name": largest["name"],
+            "num_rows": largest["num_rows"],
+            "warm_speedup": largest["warm_speedup"],
+        },
+        # The headline number: warm-session over cold per-request median
+        # wall-clock of one /score profile on the largest fixed relation.
+        "speedup": None if largest is None else largest["warm_speedup"],
+    }
+    if output_dir is not None:
+        _write_artifacts(Path(output_dir) / "service", payload)
+    if bench_path is not None:
+        write_json(bench_path, payload)
+    return payload
+
+
+def _write_artifacts(directory: Path, payload: Dict[str, object]) -> None:
+    ensure_directory(directory)
+    write_json(directory / "summary.json", payload)
+    fields = ["relation", "num_rows", "metric", "value"]
+
+    def rows():
+        for entry in payload["relations"]:  # type: ignore[union-attr]
+            for metric in ("cold_seconds_median", "warm_seconds_median", "warm_speedup"):
+                yield {
+                    "relation": entry["name"],
+                    "num_rows": entry["num_rows"],
+                    "metric": metric,
+                    "value": entry[metric],
+                }
+            for cell in entry["throughput"]:
+                yield {
+                    "relation": entry["name"],
+                    "num_rows": entry["num_rows"],
+                    "metric": f"requests_per_second[{cell['threads']}]",
+                    "value": cell["requests_per_second"],
+                }
+
+    write_csv(directory / "summary.csv", fields, rows())

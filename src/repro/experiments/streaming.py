@@ -154,7 +154,9 @@ def _replay_backend(
     aspiration.
     """
     measures = config.build_measures()
-    dynamic = DynamicRelation.from_relation(relation)
+    # The workload's delete ids are precomputed against forever-stable
+    # row ids, so history compaction (which re-bases ids) must stay off.
+    dynamic = DynamicRelation.from_relation(relation, compact_threshold=None)
     tracker = dynamic.track(SYNTHETIC_FD)
 
     # Warm-up (untimed): both paths run once on the initial state, paying

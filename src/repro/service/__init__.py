@@ -1,0 +1,47 @@
+"""``repro.service`` — the unified session API and profiling server.
+
+One front door for every caller:
+
+* :class:`AfdSession` — a facade owning one relation plus every
+  expensive derived artifact (columnar encoding, partitions, sufficient
+  statistics, incremental trackers), with ``score()`` / ``discover()`` /
+  ``minimal_cover()`` / ``apply_delta()`` / ``snapshot_scores()``
+  methods that never recompute what the session already holds;
+* the typed request/result model (:mod:`repro.service.model`) with
+  stable ``to_dict()`` / ``from_dict()`` JSON schemas shared by the
+  library API, the CLIs and the HTTP server;
+* the concurrent profiling server (:mod:`repro.service.server`,
+  ``python -m repro.serve``): JSON over HTTP on a stdlib
+  ``ThreadingHTTPServer`` with per-session locking.
+
+Quickstart::
+
+    from repro.service import AfdSession
+
+    session = AfdSession(relation)
+    print(session.score("zip -> city").scores)
+    found = session.discover(threshold=0.9, max_lhs_size=2)
+    print(session.score(found.accepted_fds("g3")[0]).cache_hit)  # True
+"""
+
+from repro.service.model import (
+    SCHEMA_VERSION,
+    DiscoveryResult,
+    ProfileRequest,
+    ProfileResult,
+    ScoredFd,
+    StreamUpdate,
+    record_from_dict,
+)
+from repro.service.session import AfdSession
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AfdSession",
+    "DiscoveryResult",
+    "ProfileRequest",
+    "ProfileResult",
+    "ScoredFd",
+    "StreamUpdate",
+    "record_from_dict",
+]

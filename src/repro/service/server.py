@@ -1,0 +1,338 @@
+"""The concurrent AFD profiling server: JSON over HTTP, stdlib only.
+
+``python -m repro.serve`` starts a :class:`ThreadingHTTPServer` exposing
+the :class:`~repro.service.session.AfdSession` facade over named
+relations.  Every worker thread serving a request goes through the
+per-session lock, so concurrent reads share one session's cached
+artifacts (columnar view, partitions, statistics) safely.
+
+Endpoints (all payloads are the ``to_dict`` schemas of
+:mod:`repro.service.model`):
+
+===========================  ======  ==================================
+``/healthz``                 GET     liveness + version + session names
+``/relations``               GET     per-session summaries & cache info
+``/relations``               POST    register a named relation
+``/score``                   POST    profile one FD on a session
+``/discover``                POST    lattice discovery on a session
+``/stream/<name>/delta``     POST    apply a mutation batch
+===========================  ======  ==================================
+
+``POST /relations`` body::
+
+    {"name": "orders", "attributes": ["zip", "city"],
+     "rows": [["1000", "Brussels"], ...],
+     "dynamic": true,          # optional: allow /stream/<name>/delta
+     "window": 1000,           # optional: sliding window (implies dynamic)
+     "replace": false}         # optional: overwrite an existing session
+
+Errors are JSON ``{"error": ...}`` with 400 (malformed payload), 404
+(unknown route/relation), 405 (wrong method) or 409 (name collision).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.relation.relation import Relation
+from repro.service.model import ProfileRequest
+from repro.service.session import AfdSession
+
+#: Default request-body cap (16 MiB) — plenty for benchmark-scale
+#: relation uploads, small enough to bound a hostile payload.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _UnknownResource(Exception):
+    """An addressed resource (relation name) does not exist: HTTP 404.
+
+    Distinct from :class:`KeyError` so that payload-level lookup errors
+    (e.g. an unknown measure name) keep their documented 400 mapping.
+    """
+
+
+class ServiceState:
+    """The server's session registry (thread-safe)."""
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        measure_options: Optional[Dict[str, object]] = None,
+    ):
+        self._backend = backend
+        self._measure_options = dict(measure_options or {})
+        self._sessions: Dict[str, AfdSession] = {}
+        self._lock = threading.Lock()
+        self.started = time.time()
+
+    def register_session(self, name: str, session: AfdSession, replace: bool = False) -> None:
+        with self._lock:
+            if name in self._sessions and not replace:
+                raise FileExistsError(
+                    f"relation {name!r} is already registered (pass 'replace': true)"
+                )
+            self._sessions[name] = session
+
+    def register_relation(self, payload: Dict[str, object]) -> AfdSession:
+        """Build and register a session from a ``POST /relations`` body."""
+        for key in ("name", "attributes", "rows"):
+            if key not in payload:
+                raise ValueError(f"relation payload is missing {key!r}")
+        name = str(payload["name"])
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        attributes = payload["attributes"]
+        rows = [tuple(row) for row in payload["rows"]]  # type: ignore[union-attr]
+        window = payload.get("window")
+        dynamic = bool(payload.get("dynamic", False)) or window is not None
+        if dynamic:
+            from repro.stream.dynamic import DynamicRelation
+
+            relation = DynamicRelation(
+                attributes,  # type: ignore[arg-type]
+                rows,
+                name=name,
+                window=None if window is None else int(window),  # type: ignore[arg-type]
+            )
+        else:
+            relation = Relation(attributes, rows, name=name)  # type: ignore[arg-type]
+        session = AfdSession(
+            relation, backend=self._backend, name=name, **self._measure_options
+        )
+        self.register_session(name, session, replace=bool(payload.get("replace", False)))
+        return session
+
+    def session(self, name: str) -> AfdSession:
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise KeyError(f"unknown relation {name!r}; registered: {self.session_names()}")
+        return session
+
+    def session_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def describe(self) -> List[Dict[str, object]]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.describe() for session in sessions]
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared :class:`ServiceState`."""
+
+    #: Injected by :func:`make_server`.
+    state: ServiceState = None  # type: ignore[assignment]
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if not self.quiet:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required (Content-Length missing or 0)")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _resolve_session(self, name: object) -> AfdSession:
+        if not isinstance(name, str) or not name:
+            raise ValueError("payload must name the target 'relation'")
+        try:
+            return self.state.session(name)
+        except KeyError as error:
+            raise _UnknownResource(error.args[0]) from error
+
+    def _session_from(self, payload: Dict[str, object]) -> AfdSession:
+        return self._resolve_session(payload.get("relation"))
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "sessions": self.state.session_names(),
+                    "uptime_seconds": time.time() - self.state.started,
+                },
+            )
+        elif self.path == "/relations":
+            self._send_json(200, {"relations": self.state.describe()})
+        else:
+            self._error(404, f"unknown route GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            payload = self._read_body()
+            if self.path == "/relations":
+                session = self.state.register_relation(payload)
+                self._send_json(201, session.describe())
+            elif self.path == "/score":
+                session = self._session_from(payload)
+                request = ProfileRequest.from_dict(
+                    {"fd": payload.get("fd"), "measures": payload.get("measures")}
+                )
+                self._send_json(200, session.profile(request).to_dict())
+            elif self.path == "/discover":
+                session = self._session_from(payload)
+                result = session.discover(
+                    threshold=payload.get("threshold", 0.9),
+                    max_lhs_size=int(payload.get("max_lhs_size", 1)),  # type: ignore[arg-type]
+                    g3_bound=payload.get("g3_bound"),  # type: ignore[arg-type]
+                    minimal_cover=bool(payload.get("minimal_cover", False)),
+                    measures=payload.get("measures"),  # type: ignore[arg-type]
+                )
+                self._send_json(200, result.to_dict())
+            elif self.path.startswith("/stream/") and self.path.endswith("/delta"):
+                name = self.path[len("/stream/") : -len("/delta")]
+                session = self._resolve_session(name)
+                update = session.apply_delta(
+                    inserts=[tuple(row) for row in payload.get("inserts", ())],  # type: ignore[union-attr]
+                    deletes=[int(row_id) for row_id in payload.get("deletes", ())],  # type: ignore[union-attr]
+                    measures=payload.get("measures"),  # type: ignore[arg-type]
+                )
+                self._send_json(200, update.to_dict())
+            else:
+                self._error(404, f"unknown route POST {self.path}")
+        except FileExistsError as error:
+            self._error(409, str(error))
+        except _UnknownResource as error:
+            self._error(404, str(error))
+        except KeyError as error:
+            # Payload-level lookup failures (unknown measure names, missing
+            # keys) are the client's input, not a missing resource.
+            self._error(400, error.args[0] if error.args else str(error))
+        except (TypeError, ValueError) as error:
+            self._error(400, str(error))
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib casing
+        self._error(405, "only GET and POST are supported")
+
+    do_DELETE = do_PUT
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    state: Optional[ServiceState] = None,
+    quiet: bool = True,
+) -> Tuple[ThreadingHTTPServer, ServiceState]:
+    """Build a ready-to-serve (but not yet serving) server + state pair.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — the in-process testing and benchmarking
+    entry point.
+    """
+    state = state if state is not None else ServiceState()
+    handler = type(
+        "BoundServiceHandler", (ServiceHandler,), {"state": state, "quiet": quiet}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server, state
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve AFD profiling sessions over HTTP (JSON API).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8765, help="port (default: 8765; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="statistics backend for every session (default: process default)",
+    )
+    parser.add_argument(
+        "--expectation",
+        choices=("exact", "monte-carlo"),
+        default="monte-carlo",
+        help="permutation-expectation strategy for RFI+/RFI'+ (default: monte-carlo)",
+    )
+    parser.add_argument(
+        "--mc-samples",
+        type=int,
+        default=100,
+        help="Monte-Carlo samples for the permutation expectation (default: 100)",
+    )
+    parser.add_argument(
+        "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one line per handled request"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    state = ServiceState(
+        backend=args.backend,
+        measure_options={
+            "expectation": args.expectation,
+            "mc_samples": args.mc_samples,
+            "sfi_alpha": args.sfi_alpha,
+        },
+    )
+    server, _ = make_server(args.host, args.port, state=state, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+
+    def _shutdown(signum, frame):  # pragma: no cover - signal path
+        # shutdown() blocks until serve_forever returns, so call it off
+        # the main thread the signal interrupted.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    print(f"repro service listening on http://{host}:{port}", file=sys.stderr, flush=True)
+    server.serve_forever()
+    server.server_close()
+    print("repro service shut down cleanly", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.core.registry import all_measures, select_measures
 from repro.core.statistics import FdStatistics
 from repro.relation.fd import FunctionalDependency
 from repro.relation.io import read_csv
+from repro.service.session import AfdSession
 from repro.stream.dynamic import DynamicRelation
 from repro.stream.statistics import assert_scores_identical
 
@@ -143,15 +144,23 @@ def monitor(
 
     A generator yielding one record per batch *as it is scored*, so the
     CLI's JSON-line feed is live rather than buffered until the end of
-    the replay.  Raises :class:`RuntimeError` when ``verify`` is set and
-    any incremental score diverges from the from-scratch recompute.
+    the replay.  The replay is served by an
+    :class:`~repro.service.AfdSession` over a
+    :class:`DynamicRelation` — batch 0 snapshots the seeded prefix, each
+    later batch is one :meth:`~repro.service.AfdSession.apply_delta` —
+    and each yielded record is the flattened
+    :class:`~repro.service.model.StreamUpdate` of that batch (the same
+    JSON schema as before the service refactor).  Raises
+    :class:`RuntimeError` when ``verify`` is set and any incremental
+    score diverges from the from-scratch recompute.
     """
     rows = relation.rows()
     seed_count = min(batch_size if initial is None else initial, len(rows))
     dynamic = DynamicRelation(
         relation.attributes, rows[:seed_count], name=relation.name, window=window
     )
-    tracker = dynamic.track(fd)
+    session = AfdSession(dynamic, measures=dict(measures), backend=backend)
+    fd_key = str(fd)
     # Batch 0 scores the seeded prefix; each later batch appends one chunk.
     batches: List[List] = [[]] + [
         rows[offset : offset + batch_size]
@@ -159,23 +168,19 @@ def monitor(
     ]
     streamed = seed_count
     for batch_index, batch in enumerate(batches):
-        started = time.perf_counter()
         if batch:
-            dynamic.append(batch)
+            update = session.apply_delta(inserts=batch)
             streamed += len(batch)
-        statistics = tracker.statistics()
-        scores = {
-            name: measure.score_from_statistics(statistics)
-            for name, measure in measures.items()
-        }
-        elapsed = time.perf_counter() - started
+        else:
+            update = session.snapshot_scores(fds=[fd])
+        scores = update.scores[fd_key]
         record: Dict[str, object] = {
             "batch": batch_index,
             "streamed_rows": streamed,
-            "live_rows": dynamic.num_rows,
-            "restricted_rows": tracker.num_rows,
+            "live_rows": update.live_rows,
+            "restricted_rows": update.restricted_rows[fd_key],
             "scores": scores,
-            "incremental_seconds": elapsed,
+            "incremental_seconds": update.seconds,
         }
         if verify:
             started = time.perf_counter()

@@ -39,14 +39,23 @@ Sliding-window semantics: with ``window=n`` every append beyond ``n``
 live rows evicts the oldest live row through the regular delete path
 (trackers observe the eviction as an ordinary delete).
 
-**Memory model.**  Stable ids are bought with tombstoning: evicted and
-deleted rows keep their slot in the row list and their codes in the
-dynamic arrays, so a long-running windowed stream holds O(total rows
-ever appended) state even though only ``window`` rows are live.  That
-is the right trade for the bounded replay workloads this subsystem
-ships (benchmark batches, CSV monitoring) — re-basing ids to reclaim
-history would invalidate every tracker's id-keyed state, and is tracked
-as ROADMAP headroom for truly unbounded streams.
+**Memory model and compaction.**  Stable ids are bought with
+tombstoning: evicted and deleted rows keep their slot in the row list
+and their codes in the dynamic arrays, so without intervention a
+long-running windowed stream holds O(total rows ever appended) state
+even though only ``window`` rows are live.  *History compaction* caps
+that: once the tombstone fraction exceeds ``compact_threshold``
+(default 0.5; ``None`` disables) and at least ``compact_min`` rows have
+been appended, the store re-bases the live rows to ids ``0 .. n-1``,
+drops all dead history, and hands every tracker the old-id -> new-id
+mapping through its ``_on_compact`` hook — order-preserving, so every
+derived ``Counter`` insertion order (and with it score bit-identity) is
+untouched.  Compaction only ever runs at the *end* of an
+:meth:`append` / :meth:`delete` call, never mid-batch.  The one
+caller-visible effect: row ids obtained before a compaction no longer
+name the same rows afterwards, so callers that hold ids across batches
+on a compacting store should re-derive them (the trackers do this
+automatically; :attr:`compactions` counts the rebases).
 """
 
 from __future__ import annotations
@@ -88,7 +97,7 @@ class _DynamicColumn:
 
     def append(self, value: object) -> None:
         if self.length == self.codes.shape[0]:
-            grown = np.empty(self.codes.shape[0] * 2, dtype=np.int32)
+            grown = np.empty(max(self.codes.shape[0] * 2, _INITIAL_CAPACITY), dtype=np.int32)
             grown[: self.length] = self.codes[: self.length]
             self.codes = grown
         if value is None:
@@ -107,6 +116,16 @@ class _DynamicColumn:
         """Distinct non-NULL values ever appended (live or not)."""
         return len(self.values)
 
+    def compact(self, live: "np.ndarray") -> None:
+        """Keep only the codes of ``live`` (ascending historical ids).
+
+        The value -> code table is retained as-is: codes stay valid, and
+        the table is bounded by the distinct values of the data rather
+        than by its row count.
+        """
+        self.codes = self.codes[: self.length][live].copy()
+        self.length = int(self.codes.shape[0])
+
 
 class DynamicRelation:
     """A bag relation supporting ``append`` / ``delete`` / sliding windows.
@@ -123,6 +142,13 @@ class DynamicRelation:
     window:
         Optional sliding-window size: appends beyond ``window`` live rows
         evict the oldest live row through the delete path.
+    compact_threshold:
+        Tombstone fraction (dead / total appended) beyond which dead
+        history is compacted away at the end of a mutation call
+        (default 0.5; ``None`` disables auto-compaction).
+    compact_min:
+        Minimum total appended rows before auto-compaction is considered
+        (default 256), so small relations keep fully stable ids.
     """
 
     def __init__(
@@ -131,14 +157,24 @@ class DynamicRelation:
         rows: Iterable[Sequence[object]] = (),
         name: str = "",
         window: Optional[int] = None,
+        compact_threshold: Optional[float] = 0.5,
+        compact_min: int = 256,
     ):
         self._attributes: Tuple[str, ...] = tuple(attributes)
         if len(set(self._attributes)) != len(self._attributes):
             raise ValueError(f"duplicate attribute names in schema {self._attributes}")
         if window is not None and window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if compact_threshold is not None and not 0.0 < compact_threshold <= 1.0:
+            raise ValueError(
+                f"compact_threshold must be in (0, 1] or None, got {compact_threshold}"
+            )
         self.name = name
         self.window = window
+        self.compact_threshold = compact_threshold
+        self.compact_min = compact_min
+        #: Number of history compactions performed so far.
+        self.compactions = 0
         self._all_rows: List[Row] = []
         # Liveness is membership in this ordered id set; deleted rows keep
         # their slot in _all_rows (tombstoning by omission).
@@ -149,19 +185,27 @@ class DynamicRelation:
         self._trackers: List[object] = []
         self._snapshot_cache: Optional[Relation] = None
         self._positions_cache: Optional[Dict[int, int]] = None
+        #: Monotone mutation counter: bumped on every append/delete/compact,
+        #: so derived caches (e.g. an ``AfdSession``'s statistics cache)
+        #: can cheaply detect *any* mutation, including out-of-band ones.
+        self.version = 0
         self.append(rows)
 
     @classmethod
     def from_relation(
-        cls, relation: Relation, window: Optional[int] = None
+        cls, relation: Relation, window: Optional[int] = None, **options
     ) -> "DynamicRelation":
         """A dynamic view over a copy of ``relation``'s rows.
 
         The dynamic relation *owns* its store: it copies the row list and
         builds its own encoding, so mutations never reach the source
         relation or its cached columnar view / frequency caches.
+        ``options`` (``compact_threshold`` / ``compact_min``) are
+        forwarded to the constructor.
         """
-        return cls(relation.attributes, relation.rows(), name=relation.name, window=window)
+        return cls(
+            relation.attributes, relation.rows(), name=relation.name, window=window, **options
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -235,12 +279,21 @@ class DynamicRelation:
             assigned.append(row_id)
             if self.window is not None and len(self._live) > self.window:
                 self._delete_one(next(iter(self._live)))
+        # Compacting mid-loop would invalidate the ids already assigned
+        # (and, in delete(), the ids the caller is still passing), so
+        # auto-compaction only ever runs once the whole batch is applied;
+        # the returned ids are re-based through the compaction mapping
+        # (evicted rows keep their now-dead old id).
+        mapping = self._maybe_compact()
+        if mapping is not None:
+            assigned = [mapping.get(row_id, row_id) for row_id in assigned]
         return assigned
 
     def delete(self, row_ids: Iterable[int]) -> None:
         """Tombstone live rows by id (raises on unknown or already-dead ids)."""
         for row_id in row_ids:
             self._delete_one(row_id)
+        self._maybe_compact()
 
     def _delete_one(self, row_id: int) -> None:
         if row_id not in self._live:
@@ -254,6 +307,50 @@ class DynamicRelation:
     def _invalidate(self) -> None:
         self._snapshot_cache = None
         self._positions_cache = None
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # History compaction
+    # ------------------------------------------------------------------
+    @property
+    def tombstone_fraction(self) -> float:
+        """Dead rows as a fraction of all rows ever appended."""
+        total = len(self._all_rows)
+        if total == 0:
+            return 0.0
+        return (total - len(self._live)) / total
+
+    def _maybe_compact(self) -> Optional[Dict[int, int]]:
+        if self.compact_threshold is None:
+            return None
+        total = len(self._all_rows)
+        if total < self.compact_min:
+            return None
+        if (total - len(self._live)) / total <= self.compact_threshold:
+            return None
+        return self.compact()
+
+    def compact(self) -> Dict[int, int]:
+        """Drop dead history, re-basing live rows to ids ``0 .. n-1``.
+
+        Returns the old-id -> new-id mapping of the surviving rows (also
+        delivered to every tracker through its ``_on_compact`` hook).
+        The re-basing preserves live order, so snapshots, partitions and
+        every derived ``Counter`` insertion order are bit-identical
+        before and after; only the id labels change.
+        """
+        mapping = {old: new for new, old in enumerate(self._live)}
+        if self._columns is not None:
+            live = np.fromiter(mapping, dtype=np.int64, count=len(mapping))
+            for column in self._columns:
+                column.compact(live)
+        self._all_rows = [self._all_rows[old] for old in mapping]
+        self._live = {new: None for new in range(len(mapping))}
+        self._invalidate()
+        for tracker in self._trackers:
+            tracker._on_compact(mapping)
+        self.compactions += 1
+        return mapping
 
     # ------------------------------------------------------------------
     # Trackers

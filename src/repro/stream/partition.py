@@ -98,6 +98,17 @@ class IncrementalPartition:
     def _on_delete(self, row_id: int, row: Row) -> None:
         self._pending.append((row_id, self._value(row)))
 
+    def _on_compact(self, mapping) -> None:
+        """Rebuild from the compacted store (old row ids are void).
+
+        Compaction is itself O(live), so one O(live) rebuild here keeps
+        the cost model honest; the pending-delete buffer only holds dead
+        rows, which the rebuild discards wholesale.
+        """
+        self._pending.clear()
+        self._rebuild()
+        self.rebuilds += 1
+
     # ------------------------------------------------------------------
     # Lazy delete replay / rebuild
     # ------------------------------------------------------------------

@@ -120,6 +120,21 @@ class _OrderedCounts:
         self._starts[key] = start
         self._dirty = True
 
+    def remap(self, mapping: Mapping[int, int]) -> None:
+        """Rewrite row ids after a history compaction.
+
+        ``mapping`` (old id -> new id) is order-preserving and covers
+        exactly the live rows, so each key's surviving ids stay
+        ascending and its first live id keeps its relative rank — the
+        ``ordered_counter`` output is bit-identical across the remap.
+        Dead ids (absent from the mapping) are dropped, which also
+        resets the lazily advanced head pointers.
+        """
+        for key, ids in self._ids.items():
+            start = self._starts[key]
+            self._ids[key] = [mapping[i] for i in ids[start:] if i in mapping]
+            self._starts[key] = 0
+
     def ordered_counter(self) -> Counter:
         """The counts as a ``Counter`` in live-first-occurrence insertion order."""
         if self._dirty:
@@ -186,6 +201,11 @@ class IncrementalFdStatistics:
         y = tuple(row[i] for i in self._rhs_indices)
         self._xy.remove((x, y), row_id, is_live)
         self._full.remove(row, row_id, is_live)
+
+    def _on_compact(self, mapping: Mapping[int, int]) -> None:
+        """Rewrite id-keyed state after a history compaction (O(live))."""
+        self._xy.remap(mapping)
+        self._full.remap(mapping)
 
     # ------------------------------------------------------------------
     # Assembly

@@ -1,0 +1,714 @@
+"""The ``repro.service`` front door: model, session, server, dispatcher.
+
+Contracts under test:
+
+* the typed result model round-trips losslessly through its JSON
+  schemas and rejects malformed payloads;
+* ``AfdSession.score`` / ``discover`` / ``apply_delta`` are
+  ``==``-identical to the legacy direct-call paths
+  (``FdStatistics.compute`` + ``score_from_statistics``,
+  ``discover_afds``, from-scratch recompute on the snapshot) on every
+  available backend;
+* the session's artifact caches are shared — across calls, across
+  discovery-then-score, and across concurrent threads, with hit/miss
+  counters proving it;
+* the HTTP server serves the same numbers over ``urllib`` and fails
+  cleanly (400/404/405/409) on bad input;
+* ``python -m repro`` dispatches to the subsystem CLIs.
+
+Tests that need numpy are marked; the remainder also run in the
+no-numpy CI job.
+"""
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import all_measures
+from repro.core.statistics import FdStatistics
+from repro.discovery import discover_afds, minimal_cover
+from repro.relation import FunctionalDependency, Relation
+from repro.service import (
+    AfdSession,
+    DiscoveryResult,
+    ProfileRequest,
+    ProfileResult,
+    ScoredFd,
+    StreamUpdate,
+    record_from_dict,
+)
+from repro.service.server import ServiceState, make_server
+from repro.stream import DynamicRelation
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+BACKENDS = ("python", "numpy") if HAVE_NUMPY else ("python",)
+
+MEASURES = all_measures(expectation="exact")
+
+
+def small_relation(name="demo"):
+    return Relation(
+        ["zip", "city", "street"],
+        [
+            ("1000", "Brussels", "a"),
+            ("1000", "Brussels", "b"),
+            ("1000", "Bruxelles", "a"),
+            ("3590", "Diepenbeek", "c"),
+            ("3590", "Diepenbeek", "c"),
+            (None, "X", "d"),
+        ],
+        name=name,
+    )
+
+
+def random_relation(seed, rows=60):
+    rng = random.Random(seed)
+    data = [
+        (
+            rng.choice(["x", "y", "z", None]),
+            rng.choice(["p", "q", "r"]),
+            rng.randrange(6),
+        )
+        for _ in range(rows)
+    ]
+    return Relation(["A", "B", "C"], data, name=f"rand{seed}")
+
+
+# ----------------------------------------------------------------------
+# Result model: JSON round-trips and validation
+# ----------------------------------------------------------------------
+def test_profile_request_round_trip():
+    request = ProfileRequest(FunctionalDependency(("a", "b"), "c"), measures=("g3",))
+    rebuilt = ProfileRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+    assert rebuilt == request
+    assert record_from_dict(request.to_dict()) == request
+
+
+def test_profile_request_accepts_text_fd():
+    request = ProfileRequest.from_dict({"fd": "a, b -> c"})
+    assert request.fd == FunctionalDependency(("a", "b"), "c")
+    assert request.measures is None
+
+
+def test_profile_request_rejects_bad_payloads():
+    with pytest.raises(ValueError):
+        ProfileRequest.from_dict({})
+    with pytest.raises(ValueError):
+        ProfileRequest.from_dict({"fd": {"lhs": ["a"]}})
+    with pytest.raises(ValueError):
+        ProfileRequest.from_dict({"fd": "a -> b", "measures": "g3"})
+    with pytest.raises(ValueError):
+        ProfileRequest.from_dict({"fd": "a -> b", "kind": "stream_update"})
+
+
+def test_scored_fd_round_trip():
+    scored = ScoredFd(lhs=("a",), rhs=("b",), scores={"g3": 0.5}, exact=False)
+    assert ScoredFd.from_dict(json.loads(json.dumps(scored.to_dict()))) == scored
+    assert scored.fd == FunctionalDependency("a", "b")
+
+
+def test_profile_result_round_trip():
+    result = ProfileResult(
+        relation="t",
+        num_rows=10,
+        scored=ScoredFd(lhs=("a",), rhs=("b",), scores={"g3": 1.0}, exact=True),
+        runtimes={"g3": 0.001},
+        statistics_seconds=0.01,
+        cache_hit=True,
+        epoch=3,
+    )
+    rebuilt = ProfileResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt == result
+
+
+def test_stream_update_round_trip():
+    update = StreamUpdate(
+        relation="t",
+        epoch=2,
+        live_rows=5,
+        inserted=3,
+        deleted=1,
+        scores={"a -> b": {"g3": 0.5}},
+        restricted_rows={"a -> b": 4},
+        seconds=0.001,
+    )
+    assert StreamUpdate.from_dict(json.loads(json.dumps(update.to_dict()))) == update
+
+
+def test_record_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        record_from_dict({"kind": "mystery"})
+    with pytest.raises(ValueError):
+        record_from_dict(["not", "a", "mapping"])
+
+
+def test_discovery_result_round_trip_and_views():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    result = session.discover(threshold=0.5, max_lhs_size=2)
+    rebuilt = DiscoveryResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.candidates == result.candidates
+    assert rebuilt.counters == result.counters
+    for measure in ("g3", "mu_plus"):
+        assert [s.fd for s in rebuilt.accepted(measure)] == [
+            s.fd for s in result.accepted(measure)
+        ]
+    assert rebuilt.exact_fds() == result.exact_fds()
+    assert len(rebuilt) == len(result)
+
+
+# ----------------------------------------------------------------------
+# AfdSession: bit-identity with the direct call paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_score_matches_direct_path(backend):
+    relation = random_relation(1)
+    fd = FunctionalDependency("A", "B")
+    session = AfdSession(relation, measures=MEASURES, backend=backend)
+    result = session.score(fd)
+    statistics = FdStatistics.compute(random_relation(1), fd, backend=backend)
+    direct = {
+        name: measure.score_from_statistics(statistics)
+        for name, measure in MEASURES.items()
+    }
+    assert result.scores == direct
+    assert result.relation == relation.name
+    assert result.num_rows == relation.num_rows
+    assert not result.cache_hit
+    assert set(result.runtimes) == set(MEASURES)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_discover_matches_discover_afds(backend):
+    relation = random_relation(2)
+    session = AfdSession(relation, measures=MEASURES, backend=backend)
+    result = session.discover(threshold=0.7, max_lhs_size=2)
+    reference = discover_afds(
+        random_relation(2), measures=MEASURES, threshold=0.7, max_lhs_size=2,
+        backend=backend,
+    )
+    assert [(c.fd, c.scores, c.exact) for c in result.candidates] == [
+        (c.fd, c.scores, c.exact) for c in reference.candidates
+    ]
+    assert result.counters == reference.counters()
+
+
+def test_minimal_cover_matches_cover_reduction():
+    relation = small_relation()
+    session = AfdSession(relation, measures=MEASURES)
+    session.discover(threshold=0.9, max_lhs_size=2)
+    reduced = session.minimal_cover()
+    reference = minimal_cover(
+        discover_afds(small_relation(), measures=MEASURES, threshold=0.9, max_lhs_size=2)
+    )
+    assert [(c.fd, c.exact) for c in reduced.candidates] == [
+        (c.fd, c.exact) for c in reference.candidates
+    ]
+    assert reduced.counters["dropped_non_minimal"] == reference.dropped_non_minimal
+
+
+def test_minimal_cover_without_discovery_raises():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    with pytest.raises(ValueError):
+        session.minimal_cover()
+
+
+def test_score_accepts_text_and_request_forms():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    by_text = session.score("zip -> city")
+    by_fd = session.score(FunctionalDependency("zip", "city"))
+    by_request = session.profile(ProfileRequest(FunctionalDependency("zip", "city")))
+    assert by_text.scores == by_fd.scores == by_request.scores
+
+
+def test_score_measure_subset_and_unknown_measure():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    result = session.score("zip -> city", measures=["g3", "mu_plus"])
+    assert list(result.scores) == ["g3", "mu_plus"]
+    with pytest.raises(KeyError):
+        session.score("zip -> city", measures=["nope"])
+
+
+def test_session_rejects_non_relations():
+    with pytest.raises(TypeError):
+        AfdSession([("a", "b")])
+
+
+# ----------------------------------------------------------------------
+# AfdSession: artifact caching
+# ----------------------------------------------------------------------
+def test_repeat_score_hits_cache():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    first = session.score("zip -> city")
+    second = session.score("zip -> city")
+    assert second.scores == first.scores
+    assert second.cache_hit and second.statistics_seconds == 0.0
+    info = session.cache_info()
+    assert info["statistics_misses"] == 1
+    assert info["statistics_hits"] == 1
+    assert info["cached_statistics"] == 1
+
+
+def test_score_after_discovery_hits_cache():
+    session = AfdSession(random_relation(3), measures=MEASURES)
+    result = session.discover(threshold=0.5, max_lhs_size=2)
+    computed = result.counters["statistics_computed"]
+    assert session.cache_info()["statistics_misses"] == computed
+    # Any non-pruned candidate was already computed inside discover().
+    non_exact = next(c for c in result.candidates if not c.exact)
+    profile = session.score(non_exact.fd)
+    assert profile.cache_hit
+    assert profile.scores == non_exact.scores
+
+
+def test_repeat_discovery_reuses_partitions():
+    session = AfdSession(random_relation(4), measures=MEASURES)
+    session.discover(threshold=0.5, max_lhs_size=2)
+    first = session.cache_info()
+    session.discover(threshold=0.5, max_lhs_size=2)
+    second = session.cache_info()
+    # Second traversal probes the same lattice nodes: all hits, no new misses.
+    assert second["partition_misses"] == first["partition_misses"]
+    assert second["partition_hits"] > first["partition_hits"]
+    assert second["statistics_misses"] == first["statistics_misses"]
+
+
+def test_seed_statistics_short_circuits_compute():
+    relation = small_relation()
+    fd = FunctionalDependency("zip", "city")
+    statistics = FdStatistics.compute(relation, fd)
+    session = AfdSession(relation, measures=MEASURES)
+    session.seed_statistics(fd, statistics)
+    result = session.score(fd)
+    assert result.cache_hit and result.statistics_seconds == 0.0
+
+
+@requires_numpy  # importing repro.evaluation pulls in the synthetic generators
+def test_legacy_shim_routes_through_session():
+    from repro.evaluation.scoring import score_with_shared_statistics
+
+    relation = small_relation()
+    fd = FunctionalDependency("zip", "city")
+    scores, runtimes, statistics_seconds = score_with_shared_statistics(
+        relation, fd, MEASURES
+    )
+    statistics = FdStatistics.compute(small_relation(), fd)
+    assert scores == {
+        name: measure.score_from_statistics(statistics)
+        for name, measure in MEASURES.items()
+    }
+    assert statistics_seconds > 0.0
+    supplied = score_with_shared_statistics(relation, fd, MEASURES, statistics=statistics)
+    assert supplied[0] == scores and supplied[2] == 0.0
+
+
+# ----------------------------------------------------------------------
+# AfdSession: dynamic sessions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_apply_delta_matches_recompute(backend):
+    rng = random.Random(5)
+    relation = random_relation(5, rows=40)
+    dynamic = DynamicRelation.from_relation(relation)
+    session = AfdSession(dynamic, measures=MEASURES, backend=backend)
+    fd = FunctionalDependency("A", "B")
+    session.score(fd)
+    assert session.tracked_fds() == [fd]
+    for step in range(8):
+        inserts = [
+            (rng.choice(["x", "new", None]), rng.choice(["p", "q"]), rng.randrange(9))
+            for _ in range(rng.randrange(0, 5))
+        ]
+        live = dynamic.live_ids()
+        deletes = rng.sample(live, k=min(2, len(live))) if step % 2 else []
+        update = session.apply_delta(inserts=inserts, deletes=deletes)
+        assert update.epoch == step + 1 == session.epoch
+        assert update.live_rows == dynamic.num_rows
+        assert update.inserted == len(inserts) and update.deleted == len(deletes)
+        recomputed = FdStatistics.compute(dynamic.snapshot(), fd, backend=backend)
+        reference = {
+            name: measure.score_from_statistics(recomputed)
+            for name, measure in MEASURES.items()
+        }
+        assert update.scores[str(fd)] == reference
+        assert update.restricted_rows[str(fd)] == recomputed.num_rows
+
+
+def test_snapshot_scores_without_mutation():
+    dynamic = DynamicRelation.from_relation(random_relation(6))
+    session = AfdSession(dynamic, measures=MEASURES)
+    update = session.snapshot_scores(fds=["A -> B", "B -> C"])
+    assert set(update.scores) == {"A -> B", "B -> C"}
+    assert update.inserted == 0 and update.deleted == 0 and update.epoch == 0
+    # Named FDs enrolled for tracking; the next delta refreshes them all.
+    after = session.apply_delta(inserts=[("x", "p", 1)])
+    assert set(after.scores) == {"A -> B", "B -> C"}
+
+
+def test_untrack_stops_refreshing():
+    dynamic = DynamicRelation.from_relation(random_relation(7))
+    session = AfdSession(dynamic, measures=MEASURES)
+    session.score("A -> B")
+    session.untrack("A -> B")
+    assert session.tracked_fds() == []
+    update = session.apply_delta(inserts=[("x", "p", 1)])
+    assert update.scores == {}
+    # Untracked scoring still works (recompute path) and stays correct.
+    rescored = session.score("A -> B")
+    recomputed = FdStatistics.compute(dynamic.snapshot(), FunctionalDependency("A", "B"))
+    assert rescored.scores == {
+        name: measure.score_from_statistics(recomputed)
+        for name, measure in MEASURES.items()
+    }
+
+
+def test_apply_delta_requires_dynamic_session():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    with pytest.raises(ValueError):
+        session.apply_delta(inserts=[("1", "2", "3")])
+    with pytest.raises(ValueError):
+        session.track("zip -> city")
+
+
+def test_dynamic_discover_matches_static_discovery():
+    relation = random_relation(8)
+    dynamic = DynamicRelation.from_relation(relation)
+    session = AfdSession(dynamic, measures=MEASURES)
+    session.apply_delta(inserts=[("x", "p", 1), ("y", "q", 2)])
+    result = session.discover(threshold=0.5, max_lhs_size=2)
+    reference = discover_afds(
+        dynamic.snapshot(), measures=MEASURES, threshold=0.5, max_lhs_size=2
+    )
+    assert [(c.fd, c.scores) for c in result.candidates] == [
+        (c.fd, c.scores) for c in reference.candidates
+    ]
+    # Discovery did not enrol trackers for the whole candidate grid.
+    assert session.tracked_fds() == []
+
+
+# ----------------------------------------------------------------------
+# AfdSession: concurrency
+# ----------------------------------------------------------------------
+def test_concurrent_access_is_bit_identical_to_serial():
+    relation = random_relation(9, rows=80)
+    fds = [
+        FunctionalDependency(lhs, rhs)
+        for lhs in relation.attributes
+        for rhs in relation.attributes
+        if lhs != rhs
+    ]
+    serial_session = AfdSession(relation, measures=MEASURES)
+    serial_scores = {fd: serial_session.score(fd).scores for fd in fds}
+    serial_discovery = serial_session.discover(threshold=0.6, max_lhs_size=2)
+
+    shared = AfdSession(
+        Relation(relation.attributes, relation.rows(), name=relation.name),
+        measures=all_measures(expectation="exact"),
+    )
+    results = {}
+    discoveries = {}
+    errors = []
+    num_threads = 8
+
+    def worker(thread_index):
+        try:
+            rng = random.Random(thread_index)
+            order = list(fds)
+            rng.shuffle(order)
+            mine = {}
+            for fd in order:
+                mine[fd] = shared.score(fd).scores
+            discoveries[thread_index] = shared.discover(threshold=0.6, max_lhs_size=2)
+            results[thread_index] = mine
+        except BaseException as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    for index in range(num_threads):
+        assert results[index] == serial_scores
+        assert [(c.fd, c.scores) for c in discoveries[index].candidates] == [
+            (c.fd, c.scores) for c in serial_discovery.candidates
+        ]
+    info = shared.cache_info()
+    # Artifact sharing: every FD's statistics were computed exactly once
+    # across all eight threads; everything else was a cache hit.
+    total_statistics = info["statistics_misses"]
+    assert total_statistics == serial_session.cache_info()["statistics_misses"]
+    assert info["statistics_hits"] >= num_threads * len(fds) - total_statistics
+    assert info["partition_misses"] == serial_session.cache_info()["partition_misses"]
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service():
+    state = ServiceState()
+    server, _ = make_server(state=state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", state
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _register(base, name="demo", **extra):
+    relation = small_relation(name)
+    payload = {
+        "name": name,
+        "attributes": list(relation.attributes),
+        "rows": [list(row) for row in relation.rows()],
+    }
+    payload.update(extra)
+    return _post(f"{base}/relations", payload)
+
+
+def test_server_healthz_and_relations(service):
+    base, _ = service
+    status, health = _get(f"{base}/healthz")
+    assert status == 200 and health["status"] == "ok"
+    assert health["sessions"] == []
+    status, body = _register(base)
+    assert status == 201 and body["num_rows"] == 6
+    status, listing = _get(f"{base}/relations")
+    assert [entry["name"] for entry in listing["relations"]] == ["demo"]
+    assert _get(f"{base}/healthz")[1]["sessions"] == ["demo"]
+
+
+def test_server_score_matches_library(service):
+    base, state = service
+    _register(base)
+    status, body = _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
+    assert status == 200 and body["kind"] == "profile_result"
+    reference = state.session("demo").score("zip -> city")
+    assert body["scores"] == reference.scores
+    # A second identical request is served from the session cache.
+    status, again = _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
+    assert again["cache_hit"] is True and again["scores"] == body["scores"]
+
+
+def test_server_discover_and_stream_delta(service):
+    base, _ = service
+    _register(base, dynamic=True)
+    status, found = _post(
+        f"{base}/discover",
+        {"relation": "demo", "threshold": 0.5, "max_lhs_size": 2},
+    )
+    assert status == 200 and found["kind"] == "discovery_result"
+    assert found["counters"]["candidates"] > 0
+    _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
+    status, update = _post(
+        f"{base}/stream/demo/delta",
+        {"inserts": [["9999", "Gent", "q"]], "deletes": [0]},
+    )
+    assert status == 200 and update["kind"] == "stream_update"
+    assert update["epoch"] == 1 and update["live_rows"] == 6
+    assert "zip -> city" in update["scores"]
+
+
+def test_server_error_paths(service):
+    base, _ = service
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{base}/bogus")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{base}/score", {"relation": "ghost", "fd": "a -> b"})
+    assert excinfo.value.code == 404
+    _register(base)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _register(base)  # duplicate name without replace
+    assert excinfo.value.code == 409
+    assert _register(base, replace=True)[0] == 201
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{base}/score", {"relation": "demo"})  # missing fd
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{base}/stream/demo/delta", {"inserts": [["x"]]})  # static session
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        request = urllib.request.Request(
+            f"{base}/score", data=b"{}", method="PUT"
+        )
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 405
+
+
+def test_server_concurrent_clients_share_one_session(service):
+    base, state = service
+    _register(base)
+    reference = state.session("demo").score("zip -> city").scores
+    payloads = []
+    errors = []
+
+    def client():
+        try:
+            for _ in range(5):
+                payloads.append(
+                    _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})[1]
+                )
+        except BaseException as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=client) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(payloads) == 20
+    assert all(body["scores"] == reference for body in payloads)
+    info = state.session("demo").cache_info()
+    assert info["statistics_misses"] == 1
+    assert info["statistics_hits"] >= 20
+
+
+# ----------------------------------------------------------------------
+# python -m repro dispatcher
+# ----------------------------------------------------------------------
+def test_dispatcher_version_and_usage(capsys):
+    from repro import __version__
+    from repro.__main__ import main
+
+    assert main(["--version"]) == 0
+    assert __version__ in capsys.readouterr().out
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+    assert main(["--help"]) == 0
+    assert main(["bogus"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+@requires_numpy  # the discovery CLI imports the numpy-backed RWD datasets
+def test_dispatcher_routes_to_discovery(tmp_path, capsys):
+    from repro.__main__ import main
+
+    csv_path = tmp_path / "demo.csv"
+    csv_path.write_text("zip,city\n1000,Brussels\n1000,Brussels\n3590,Diepenbeek\n")
+    output = tmp_path / "out.json"
+    code = main(
+        ["discovery", str(csv_path), "--measures", "g3", "--output", str(output)]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["counters"]["candidates"] == 2
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# Review regressions
+# ----------------------------------------------------------------------
+def test_apply_delta_deletes_resolve_before_insert_compaction():
+    # A delete id passed alongside a compaction-triggering insert batch
+    # must name the pre-call row, never a freshly re-based one.
+    dynamic = DynamicRelation(
+        ["A"],
+        [(f"seed-{i}",) for i in range(20)],
+        window=20,
+        compact_threshold=0.5,
+        compact_min=8,
+    )
+    session = AfdSession(dynamic, measures=MEASURES)
+    doomed = dynamic.live_ids()[5]
+    doomed_row = dynamic.row(doomed)
+    update = session.apply_delta(
+        inserts=[(f"new-{i}",) for i in range(30)], deletes=[doomed]
+    )
+    assert update.deleted == 1 and update.inserted == 30
+    rows = dynamic.snapshot().rows()
+    assert doomed_row not in rows
+    # The window keeps the 20 newest inserts; none was silently deleted.
+    assert rows == [(f"new-{i}",) for i in range(10, 30)]
+    assert dynamic.compactions > 0
+
+
+def test_out_of_band_mutation_invalidates_statistics_cache():
+    dynamic = DynamicRelation(["A", "B"], [(1, 2), (1, 2)])
+    session = AfdSession(dynamic, measures=MEASURES)
+    fd = FunctionalDependency("A", "B")
+    assert session.score(fd).scores["g3"] == 1.0
+    # Mutating through the exposed handle bypasses apply_delta entirely.
+    session.dynamic.append([(1, 3), (2, 4), (2, 4)])
+    rescored = session.score(fd)
+    assert not rescored.cache_hit
+    recomputed = FdStatistics.compute(dynamic.snapshot(), fd)
+    assert rescored.scores == {
+        name: measure.score_from_statistics(recomputed)
+        for name, measure in MEASURES.items()
+    }
+
+
+def test_repeat_discovery_reports_zero_statistics_passes():
+    session = AfdSession(random_relation(10), measures=MEASURES)
+    first = session.discover(threshold=0.5, max_lhs_size=2)
+    assert first.counters["statistics_computed"] > 0
+    second = session.discover(threshold=0.5, max_lhs_size=2)
+    # Scores identical, but the counter reports the passes actually run.
+    assert [c.scores for c in second.candidates] == [c.scores for c in first.candidates]
+    assert second.counters["statistics_computed"] == 0
+
+
+def test_server_unknown_measure_is_400_not_404(service):
+    base, _ = service
+    _register(base)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(
+            f"{base}/score",
+            {"relation": "demo", "fd": "zip -> city", "measures": ["nope"]},
+        )
+    assert excinfo.value.code == 400
+    assert "unknown measures" in json.load(excinfo.value)["error"]
+
+
+@requires_numpy
+def test_streaming_benchmark_survives_total_delete_churn():
+    # Heavy delete churn exceeds the compaction threshold; the driver's
+    # precomputed delete ids require the benchmark store to opt out of
+    # compaction (regression: KeyError "row id ... is not live").
+    from repro.experiments.streaming import StreamingConfig, run_streaming
+
+    config = StreamingConfig(
+        sizes=(300,),
+        backends=("python",),
+        batches=25,
+        batch_size=16,
+        delete_fraction=1.0,
+        expectation="exact",
+    )
+    payload = run_streaming(config, output_dir=None, bench_path=None)
+    assert payload["scores_verified"] is True

@@ -474,3 +474,163 @@ def test_stream_cli_validates_batch_size_and_measures(tmp_path, capsys):
     assert "--batch-size" in capsys.readouterr().err
     assert main([str(csv_path), "--fd", "A -> B", "--measures", "nope"]) == 2
     assert "unknown measures" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# History compaction
+# ----------------------------------------------------------------------
+def mirrored_mutation_script(seed, compacting, plain, steps=30):
+    """Apply an identical mutation script to both stores, yielding per step.
+
+    Deletions are drawn by *position* in the live order (ids diverge once
+    the compacting store rebases), so both stores always see the same
+    logical mutations.
+    """
+    rng = random.Random(seed)
+
+    def random_row(attributes):
+        return tuple(
+            None if rng.random() < 0.15 else rng.choice(["x", "y", "z", "w"])
+            for _ in attributes
+        )
+
+    for _ in range(steps):
+        if rng.random() < 0.7 or not plain.num_rows:
+            rows = [random_row(plain.attributes) for _ in range(rng.randint(1, 15))]
+            compacting.append(rows)
+            plain.append(rows)
+        else:
+            count = rng.randint(1, min(4, plain.num_rows))
+            positions = rng.sample(range(plain.num_rows), count)
+            compacting_ids, plain_ids = compacting.live_ids(), plain.live_ids()
+            compacting.delete([compacting_ids[p] for p in positions])
+            plain.delete([plain_ids[p] for p in positions])
+        yield
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_compaction_parity_with_uncompacted_store(seed):
+    attributes = ["A", "B"]
+    fd = FunctionalDependency("A", "B")
+    compacting = DynamicRelation(
+        attributes, window=40, compact_threshold=0.5, compact_min=48
+    )
+    plain = DynamicRelation(attributes, window=40, compact_threshold=None)
+    tracker_c, tracker_p = compacting.track(fd), plain.track(fd)
+    partition_c = compacting.track_partition(["A"])
+    partition_p = plain.track_partition(["A"])
+    for _ in mirrored_mutation_script(seed, compacting, plain):
+        assert_statistics_identical(tracker_c.statistics(), tracker_p.statistics())
+        assert partition_c.as_stripped().clusters == partition_p.as_stripped().clusters
+        assert compacting.snapshot() == plain.snapshot()
+        reference = FdStatistics.compute(
+            Relation(attributes, compacting.snapshot().rows()), fd
+        )
+        for name, measure in MEASURES.items():
+            assert measure.score_from_statistics(
+                tracker_c.statistics()
+            ) == measure.score_from_statistics(reference), (seed, name)
+    assert compacting.compactions > 0, "workload never triggered a compaction"
+    assert plain.compactions == 0
+    assert len(compacting._all_rows) < len(plain._all_rows)
+
+
+def test_windowed_stream_memory_stays_bounded():
+    dynamic = DynamicRelation(
+        ["A"], window=20, compact_threshold=0.5, compact_min=32
+    )
+    high_water = 0
+    for index in range(500):
+        dynamic.append([(index % 7,)])
+        high_water = max(high_water, len(dynamic._all_rows))
+    # Without compaction the store would hold all 500 appended rows; with
+    # threshold 0.5 it can never exceed ~2x the live window (+ batch).
+    assert dynamic.num_rows == 20
+    assert high_water <= 64
+    assert dynamic.compactions > 0
+    assert dynamic.tombstone_fraction <= 0.5 + 1e-9
+
+
+def test_explicit_compact_rebases_ids_and_keeps_trackers_correct():
+    fd = FunctionalDependency("A", "B")
+    dynamic = DynamicRelation(["A", "B"], [(i, i % 3) for i in range(10)],
+                              compact_threshold=None)
+    tracker = dynamic.track(fd)
+    partition = dynamic.track_partition(["A"])
+    dynamic.delete([0, 2, 4, 6])
+    surviving_rows = [dynamic.row(row_id) for row_id in dynamic.live_ids()]
+    mapping = dynamic.compact()
+    assert dynamic.compactions == 1
+    assert dynamic.live_ids() == list(range(6))
+    assert [dynamic.row(row_id) for row_id in dynamic.live_ids()] == surviving_rows
+    assert sorted(mapping.values()) == list(range(6))
+    assert_statistics_identical(
+        tracker.statistics(),
+        FdStatistics.compute(Relation(["A", "B"], dynamic.snapshot().rows()), fd),
+    )
+    reference = StrippedPartition.from_relation(dynamic.snapshot(), ["A"])
+    assert partition.as_stripped().clusters == reference.clusters
+    # New appends continue with fresh ids above the compacted range.
+    (new_id,) = dynamic.append([(99, 99)])
+    assert new_id == 6
+    assert tracker.statistics().num_rows == 7
+
+
+def test_compact_of_emptied_store_then_append():
+    dynamic = DynamicRelation(["A"], [(1,), (2,)], compact_threshold=None)
+    dynamic.delete(dynamic.live_ids())
+    assert dynamic.compact() == {}
+    assert dynamic.num_rows == 0
+    assigned = dynamic.append([(7,), (8,)])
+    assert assigned == [0, 1]
+    assert dynamic.snapshot().rows() == [(7,), (8,)]
+
+
+def test_append_remaps_returned_ids_across_compaction():
+    dynamic = DynamicRelation(
+        ["A"], window=4, compact_threshold=0.5, compact_min=8
+    )
+    assigned = dynamic.append([(value,) for value in range(12)])
+    # The last `window` appended rows survive; their returned ids were
+    # re-based through the compaction mapping and still name those rows.
+    surviving = assigned[-4:]
+    assert surviving == dynamic.live_ids()
+    assert [dynamic.row(row_id) for row_id in surviving] == [(8,), (9,), (10,), (11,)]
+    assert dynamic.compactions > 0
+
+
+def test_compaction_configuration_validation():
+    with pytest.raises(ValueError):
+        DynamicRelation(["A"], compact_threshold=0.0)
+    with pytest.raises(ValueError):
+        DynamicRelation(["A"], compact_threshold=1.5)
+    disabled = DynamicRelation(["A"], [(1,)] * 10, window=2, compact_threshold=None,
+                               compact_min=4)
+    assert disabled.compactions == 0
+    assert disabled.tombstone_fraction == 0.8
+
+
+@requires_numpy
+def test_compacted_snapshot_columnar_matches_fresh_encode():
+    from repro.relation.columnar import ColumnarRelation
+
+    rng = random.Random(13)
+    dynamic = DynamicRelation(
+        ["A", "B"], window=25, compact_threshold=0.5, compact_min=32
+    )
+    for _ in range(40):
+        dynamic.append(
+            [
+                (rng.choice(["x", "y", None]), rng.randint(0, 9))
+                for _ in range(rng.randint(1, 6))
+            ]
+        )
+    assert dynamic.compactions > 0
+    snapshot = dynamic.snapshot()
+    preseeded = snapshot._columnar_cache
+    assert preseeded is not None
+    fresh = ColumnarRelation.encode(Relation(snapshot.attributes, snapshot.rows()))
+    for attribute in snapshot.attributes:
+        assert preseeded.codes(attribute).tolist() == fresh.codes(attribute).tolist()
+        assert preseeded.decode_table(attribute) == fresh.decode_table(attribute)
+        assert preseeded.null_count(attribute) == fresh.null_count(attribute)
