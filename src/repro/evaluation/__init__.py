@@ -22,11 +22,7 @@ from repro.evaluation.metrics import (
     runtime_stats,
     separation,
 )
-from repro.evaluation.scoring import (
-    MeasureConfig,
-    TableScore,
-    score_with_shared_statistics,
-)
+from repro.evaluation.scoring import MeasureConfig, TableScore
 
 __all__ = [
     "EvaluationResult",
@@ -41,6 +37,5 @@ __all__ = [
     "rank_at_max_recall",
     "ranking_summary",
     "runtime_stats",
-    "score_with_shared_statistics",
     "separation",
 ]

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core import registry
 
 from repro.evaluation.metrics import ranking_summary, runtime_stats
-from repro.evaluation.scoring import MeasureConfig, TableScore, score_with_shared_statistics
+from repro.evaluation.scoring import MeasureConfig, TableScore
 from repro.synthetic.benchmarks import SyntheticBenchmark, TableSpec
 from repro.synthetic.generator import SYNTHETIC_FD
 
@@ -192,6 +192,8 @@ def evaluate_benchmark(
     relations are scored in-process).  ``backend`` overrides
     ``config.backend`` when given.
     """
+    from repro.service.session import AfdSession
+
     del jobs  # materialised relations are scored in-process
     config = config if config is not None else MeasureConfig()
     if backend is not None:
@@ -199,9 +201,10 @@ def evaluate_benchmark(
     measures = config.build()
     rows: List[TableScore] = []
     for position, table in enumerate(benchmark.tables):
-        scores, runtimes, statistics_seconds = score_with_shared_statistics(
-            table.relation, benchmark.fd, measures, backend=config.backend
+        session = AfdSession(
+            table.relation, measures=dict(measures), backend=config.backend
         )
+        result = session.score(benchmark.fd)
         rows.append(
             TableScore(
                 table=table.relation.name or f"table-{position}",
@@ -211,9 +214,9 @@ def evaluate_benchmark(
                 positive=table.positive,
                 parameter_value=table.parameter_value,
                 num_rows=table.relation.num_rows,
-                statistics_seconds=statistics_seconds,
-                scores=scores,
-                runtimes=runtimes,
+                statistics_seconds=result.statistics_seconds,
+                scores=result.scores,
+                runtimes=result.runtimes,
             )
         )
     return EvaluationResult(

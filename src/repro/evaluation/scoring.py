@@ -11,13 +11,10 @@ separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Optional
 
 from repro.core.base import AfdMeasure
 from repro.core.registry import iter_measures
-from repro.core.statistics import FdStatistics
-from repro.relation.fd import FunctionalDependency
-from repro.relation.relation import Relation
 
 
 @dataclass(frozen=True)
@@ -67,35 +64,3 @@ class TableScore:
     @property
     def label(self) -> int:
         return 1 if self.positive else 0
-
-
-def score_with_shared_statistics(
-    relation: Relation,
-    fd: FunctionalDependency,
-    measures: Mapping[str, AfdMeasure],
-    statistics: Optional[FdStatistics] = None,
-    backend: Optional[str] = None,
-) -> tuple:
-    """``(scores, runtimes, statistics_seconds)`` for one candidate FD.
-
-    .. deprecated::
-        Thin shim over a one-shot :class:`repro.service.AfdSession`;
-        prefer ``AfdSession(relation, measures=...).score(fd)``, which
-        returns the same numbers as a typed
-        :class:`~repro.service.model.ProfileResult` and keeps the
-        statistics cached for follow-up calls.  Kept because the tuple
-        signature is the established worker contract of the evaluation
-        harness and the runtime benchmark.
-
-    The statistics object (supplied, or computed by the session with the
-    requested ``backend``) is shared across all measures; derived
-    quantities cached on it by one measure are reused by the others, so
-    e.g. RFI+ and RFI'+ pay for the permutation expectation only once.
-    """
-    from repro.service.session import AfdSession
-
-    session = AfdSession(relation, measures=dict(measures), backend=backend)
-    if statistics is not None:
-        session.seed_statistics(fd, statistics)
-    result = session.score(fd)
-    return result.scores, result.runtimes, result.statistics_seconds

@@ -46,6 +46,7 @@ from repro.experiments.service import (
 from repro.experiments.service import (
     SMOKE_REQUESTS,
     SMOKE_THREADS,
+    SMOKE_WORKERS,
     ServiceConfig,
     run_service,
 )
@@ -228,9 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--service-threads",
-        default="1,4,8",
+        default="1,4,8,16",
         help="comma-separated client thread counts of the service throughput "
-        "run (default: 1,4,8)",
+        "run (default: 1,4,8,16)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=4,
+        help="shard worker processes of the sharded throughput run "
+        "(default: 4)",
     )
     parser.add_argument(
         "--service-requests",
@@ -511,6 +519,7 @@ def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         threads: tuple = SMOKE_THREADS
         requests = SMOKE_REQUESTS
         repeats = SERVICE_SMOKE_REPEATS
+        workers = SMOKE_WORKERS
     else:
         sizes = tuple(int(part) for part in args.service_sizes.split(",") if part.strip())
         threads = tuple(
@@ -518,12 +527,14 @@ def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         )
         requests = args.service_requests
         repeats = args.service_repeats
+        workers = args.service_workers
     backend = None if args.backend in (None, "auto") else args.backend
     config = ServiceConfig(
         sizes=sizes,
         client_threads=threads,
         requests_per_thread=requests,
         repeats=repeats,
+        workers=workers,
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
@@ -545,11 +556,20 @@ def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
             f"{entry['warm_seconds_median'] * 1000:>9.3f} "
             f"{'n/a' if speedup is None else f'{speedup:.1f}x':>8}"
         )
-        for cell in entry["throughput"]:
+        for mode, cells in entry["throughput"].items():
+            for cell in cells:
+                print(
+                    f"{'':<16} {mode:<8} {cell['threads']:>2} client thread(s): "
+                    f"{cell['requests_per_second']:.0f} req/s "
+                    f"({cell['requests']} requests)"
+                )
+        scaling = entry["sharded_scaling"]
+        serial_scaling = entry["serial_scaling"]
+        serial_text = "n/a" if serial_scaling is None else f"{serial_scaling:.2f}x"
+        if scaling is not None:
             print(
-                f"{'':<16} {cell['threads']} client thread(s): "
-                f"{cell['requests_per_second']:.0f} req/s "
-                f"({cell['requests']} requests)"
+                f"{'':<16} sharded peak-over-base-thread scaling: {scaling:.2f}x "
+                f"(serial: {serial_text})"
             )
     if payload["speedup"] is not None:
         print(
@@ -557,6 +577,7 @@ def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
             f"recompute: {payload['speedup']:.1f}x"
         )
     print("warm scores verified identical to cold recompute")
+    print("sharded responses verified bit-identical to serial serving")
     if output_dir is not None:
         print(f"artifacts: {output_dir}/service/{{summary.json,summary.csv}}")
     if bench_path is not None:

@@ -34,7 +34,8 @@ from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.backends import available_backends
-from repro.evaluation.scoring import MeasureConfig, score_with_shared_statistics
+from repro.evaluation.scoring import MeasureConfig
+from repro.service.session import AfdSession
 from repro.experiments.io import ensure_directory, write_csv, write_json
 from repro.synthetic.generator import (
     SYNTHETIC_FD,
@@ -126,21 +127,28 @@ def build_fixed_relation(num_rows: int, seed: int):
 
 
 def _time_backend(relation, config: RuntimeConfig, backend: str) -> Dict[str, object]:
-    """Timed statistics+scoring passes of one (relation, backend) cell."""
+    """Timed statistics+scoring passes of one (relation, backend) cell.
+
+    Each pass uses a fresh one-shot :class:`AfdSession` so the shared
+    statistics are recomputed every run (the quantity being timed).
+    """
     measures = config.measure_config(backend).build()
+
+    def one_pass():
+        session = AfdSession(relation, measures=dict(measures), backend=backend)
+        return session.score(SYNTHETIC_FD)
+
     for _ in range(config.warmup_runs):
-        score_with_shared_statistics(relation, SYNTHETIC_FD, measures, backend=backend)
+        one_pass()
     statistics_runs: List[float] = []
     total_runs: List[float] = []
     measure_runs: Dict[str, List[float]] = {name: [] for name in measures}
     for _ in range(config.repeats):
         started = time.perf_counter()
-        _, runtimes, statistics_seconds = score_with_shared_statistics(
-            relation, SYNTHETIC_FD, measures, backend=backend
-        )
+        result = one_pass()
         total_runs.append(time.perf_counter() - started)
-        statistics_runs.append(statistics_seconds)
-        for name, seconds in runtimes.items():
+        statistics_runs.append(result.statistics_seconds)
+        for name, seconds in result.runtimes.items():
             measure_runs[name].append(seconds)
     return {
         "statistics_seconds_median": median(statistics_runs),

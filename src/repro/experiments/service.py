@@ -1,4 +1,4 @@
-"""Driver for the service benchmark: warm-session speedup + throughput.
+"""Driver for the service benchmark: warm speedup + serving throughput.
 
 Quantifies what the ``repro.service`` front door buys over per-request
 recomputation, on the same deterministic fixed relations as the runtime
@@ -14,9 +14,16 @@ benchmark (Table V protocol):
   headline ``warm_speedup`` is cold-median over warm-median on the
   largest fixed relation;
 * **throughput** — the real HTTP server on a loopback ephemeral port,
-  hammered by 1/4/8 client threads issuing ``POST /score`` requests
-  against one warm session; requests/sec plus the session's cache-hit
-  counters (proving the threads shared one artifact set) are recorded.
+  hammered by 1/4/8/16 client threads (each holding one persistent
+  HTTP/1.1 connection) issuing ``POST /v1/relations/<name>/score``
+  requests, in both serving modes: **serial** (in-process, the
+  ``--workers 0`` deployment) and **sharded** (``--workers N`` worker
+  processes behind the async front end, same-relation requests
+  coalesced into batched passes).  Requests/sec per thread count and
+  the sharded-over-serial / 8-over-1-thread scaling ratios are
+  recorded; sharded responses are asserted bit-identical to serial
+  ones (:func:`~repro.service.model.stable_view` strips the volatile
+  timing fields first).
 
 Warm scores are asserted ``==``-identical to cold scores on every
 relation.  Artifacts: ``summary.json`` + ``summary.csv`` under
@@ -26,10 +33,10 @@ relation.  Artifacts: ``summary.json`` + ``summary.csv`` under
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
-import urllib.request
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from statistics import median
@@ -37,7 +44,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.io import ensure_directory, write_csv, write_json
 from repro.experiments.runtime import build_fixed_relation
-from repro.service.server import ServiceState, make_server
+from repro.service.model import stable_view
+from repro.service.server import ServiceState, make_server, make_sharded_server
 from repro.service.session import AfdSession
 from repro.synthetic.generator import SYNTHETIC_FD
 
@@ -47,9 +55,10 @@ class ServiceConfig:
     """Everything that determines one service benchmark run."""
 
     sizes: Tuple[int, ...] = (1_000, 5_000, 20_000)
-    client_threads: Tuple[int, ...] = (1, 4, 8)
+    client_threads: Tuple[int, ...] = (1, 4, 8, 16)
     requests_per_thread: int = 25
     repeats: int = 7
+    workers: int = 4
     seed: int = 97
     expectation: str = "monte-carlo"
     mc_samples: int = 50
@@ -73,6 +82,7 @@ SMOKE_SIZES: Tuple[int, ...] = (500, 2_000)
 SMOKE_THREADS: Tuple[int, ...] = (1, 2)
 SMOKE_REQUESTS = 5
 SMOKE_REPEATS = 3
+SMOKE_WORKERS = 2
 
 
 def _time_cold(relation, config: ServiceConfig) -> Tuple[List[float], Dict[str, float]]:
@@ -105,42 +115,77 @@ def _time_warm(relation, config: ServiceConfig) -> Tuple[List[float], Dict[str, 
     return runs, scores, session
 
 
-def _throughput(
-    relation, config: ServiceConfig
-) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
-    """Requests/sec of ``POST /score`` against the real HTTP server."""
-    state = ServiceState(backend=config.backend, measure_options=config.measure_options())
-    session = config.session(relation)
-    state.register_session(relation.name, session)
-    server, _ = make_server(state=state)
+# ----------------------------------------------------------------------
+# Throughput over the wire
+# ----------------------------------------------------------------------
+def _post_on(connection: http.client.HTTPConnection, path: str, body: bytes) -> bytes:
+    connection.request(
+        "POST", path, body=body, headers={"Content-Type": "application/json"}
+    )
+    response = connection.getresponse()
+    data = response.read()
+    if response.status not in (200, 201):  # pragma: no cover - server contract
+        raise RuntimeError(f"unexpected status {response.status}: {data[:200]!r}")
+    return data
+
+
+def _throughput_mode(
+    relation, config: ServiceConfig, mode: str
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Requests/sec of ``POST /v1/relations/<name>/score`` in one mode.
+
+    ``mode`` is ``"serial"`` (in-process serving) or ``"sharded"``
+    (``config.workers`` worker processes).  Every client thread keeps one
+    persistent HTTP/1.1 connection — both modes measured identically.
+    Returns the per-thread-count cells plus one reference response body
+    for the cross-mode bit-identity assertion.
+    """
+    if mode == "sharded":
+        server, _pool = make_sharded_server(
+            workers=config.workers,
+            backend=config.backend,
+            measure_options=config.measure_options(),
+        )
+    else:
+        state = ServiceState(
+            backend=config.backend, measure_options=config.measure_options()
+        )
+        server, _ = make_server(state=state)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
-    url = f"http://{host}:{port}/score"
-    body = json.dumps({"relation": relation.name, "fd": str(SYNTHETIC_FD)}).encode("utf-8")
-
-    def one_request() -> None:
-        request = urllib.request.Request(
-            url, data=body, headers={"Content-Type": "application/json"}, method="POST"
-        )
-        with urllib.request.urlopen(request) as response:
-            if response.status != 200:  # pragma: no cover - server contract
-                raise RuntimeError(f"unexpected status {response.status}")
-            response.read()
+    score_path = f"/v1/relations/{relation.name}/score"
+    score_body = json.dumps({"fd": str(SYNTHETIC_FD)}).encode("utf-8")
 
     results: List[Dict[str, object]] = []
     try:
-        one_request()  # warm the session (and the thread pool) untimed
+        setup = http.client.HTTPConnection(host, port)
+        _post_on(
+            setup,
+            "/v1/relations",
+            json.dumps(
+                {
+                    "name": relation.name,
+                    "attributes": list(relation.attributes),
+                    "rows": [list(row) for row in relation.rows()],
+                }
+            ).encode("utf-8"),
+        )
+        reference = json.loads(_post_on(setup, score_path, score_body))  # warm, untimed
+        setup.close()
         for threads in config.client_threads:
             total = threads * config.requests_per_thread
             errors: List[BaseException] = []
 
             def worker() -> None:
+                connection = http.client.HTTPConnection(host, port)
                 try:
                     for _ in range(config.requests_per_thread):
-                        one_request()
+                        _post_on(connection, score_path, score_body)
                 except BaseException as error:  # pragma: no cover - rethrown below
                     errors.append(error)
+                finally:
+                    connection.close()
 
             workers = [threading.Thread(target=worker) for _ in range(threads)]
             started = time.perf_counter()
@@ -153,6 +198,7 @@ def _throughput(
                 raise errors[0]
             results.append(
                 {
+                    "mode": mode,
                     "threads": threads,
                     "requests": total,
                     "seconds": elapsed,
@@ -161,8 +207,18 @@ def _throughput(
             )
     finally:
         server.shutdown()
+        thread.join(timeout=10)
         server.server_close()
-    return results, session.cache_info()
+    return results, reference
+
+
+def _scaling(cells: List[Dict[str, object]], numerator: int, denominator: int):
+    """Throughput ratio between two thread counts of one mode's cells."""
+    by_threads = {cell["threads"]: cell["requests_per_second"] for cell in cells}
+    high, low = by_threads.get(numerator), by_threads.get(denominator)
+    if high is None or low is None or low <= 0:
+        return None
+    return high / low
 
 
 def run_service(
@@ -180,9 +236,17 @@ def run_service(
             raise RuntimeError(
                 f"warm-session scores diverged from cold recompute on {relation.name}"
             )
-        throughput, cache = _throughput(relation, config)
+        serial_cells, serial_reference = _throughput_mode(relation, config, "serial")
+        sharded_cells, sharded_reference = _throughput_mode(relation, config, "sharded")
+        if stable_view(serial_reference) != stable_view(sharded_reference):
+            raise RuntimeError(
+                f"sharded /score response diverged from serial serving on "
+                f"{relation.name}"
+            )
         cold_median = median(cold_runs)
         warm_median = median(warm_runs)
+        peak = config.client_threads[-1] if config.client_threads else 1
+        base = config.client_threads[0] if config.client_threads else 1
         relations.append(
             {
                 "name": relation.name,
@@ -192,16 +256,27 @@ def run_service(
                 "warm_speedup": cold_median / warm_median if warm_median > 0 else None,
                 "cold_seconds_runs": cold_runs,
                 "warm_seconds_runs": warm_runs,
-                "throughput": throughput,
-                "cache": cache,
+                "throughput": {"serial": serial_cells, "sharded": sharded_cells},
+                "sharded_matches_serial": True,
+                # Thread-scaling ratios: peak-thread over single-thread
+                # requests/sec within each serving mode.  >= 1.0 means
+                # no collapse under concurrency.
+                "serial_scaling": _scaling(serial_cells, peak, base),
+                "sharded_scaling": _scaling(sharded_cells, peak, base),
+                "sharded_scaling_8_over_1": _scaling(sharded_cells, 8, 1),
             }
         )
     largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
+    smallest = min(relations, key=lambda entry: entry["num_rows"]) if relations else None
     payload: Dict[str, object] = {
         "experiment": "service",
         "config": asdict(config),
         "client_threads": list(config.client_threads),
+        "workers": config.workers,
         "scores_verified": True,
+        "sharded_matches_serial": all(
+            entry["sharded_matches_serial"] for entry in relations
+        ),
         "relations": relations,
         "largest": None
         if largest is None
@@ -213,6 +288,9 @@ def run_service(
         # The headline number: warm-session over cold per-request median
         # wall-clock of one /score profile on the largest fixed relation.
         "speedup": None if largest is None else largest["warm_speedup"],
+        # The sharding headline: peak-thread over single-thread sharded
+        # requests/sec on the smallest (most request-rate-bound) relation.
+        "sharded_scaling": None if smallest is None else smallest["sharded_scaling"],
     }
     if output_dir is not None:
         _write_artifacts(Path(output_dir) / "service", payload)
@@ -228,19 +306,26 @@ def _write_artifacts(directory: Path, payload: Dict[str, object]) -> None:
 
     def rows():
         for entry in payload["relations"]:  # type: ignore[union-attr]
-            for metric in ("cold_seconds_median", "warm_seconds_median", "warm_speedup"):
+            for metric in (
+                "cold_seconds_median",
+                "warm_seconds_median",
+                "warm_speedup",
+                "serial_scaling",
+                "sharded_scaling",
+            ):
                 yield {
                     "relation": entry["name"],
                     "num_rows": entry["num_rows"],
                     "metric": metric,
                     "value": entry[metric],
                 }
-            for cell in entry["throughput"]:
-                yield {
-                    "relation": entry["name"],
-                    "num_rows": entry["num_rows"],
-                    "metric": f"requests_per_second[{cell['threads']}]",
-                    "value": cell["requests_per_second"],
-                }
+            for mode, cells in entry["throughput"].items():
+                for cell in cells:
+                    yield {
+                        "relation": entry["name"],
+                        "num_rows": entry["num_rows"],
+                        "metric": f"requests_per_second[{mode},{cell['threads']}]",
+                        "value": cell["requests_per_second"],
+                    }
 
     write_csv(directory / "summary.csv", fields, rows())

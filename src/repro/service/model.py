@@ -1,15 +1,18 @@
 """The typed request/result object model of the service layer.
 
 Every caller-facing surface of the library — the :class:`AfdSession`
-facade, the HTTP server, the CLIs — exchanges the five dataclasses
-defined here instead of the ad-hoc tuples and dicts that previously
-grew one per subsystem:
+facade, the HTTP server, the CLIs — exchanges the dataclasses defined
+here instead of the ad-hoc tuples and dicts that previously grew one
+per subsystem:
 
 * :class:`ProfileRequest` — "score this FD with these measures";
+* :class:`BatchScoreRequest` — many :class:`ProfileRequest`\\ s against
+  one relation, answered by a single batched statistics pass;
 * :class:`ScoredFd` — one FD with its per-measure scores (the unified
   replacement of ``repro.discovery.single.CandidateScore`` in outputs);
 * :class:`ProfileResult` — the scores, per-measure runtimes and cache
   provenance of one profiled FD;
+* :class:`BatchScoreResult` — the per-request results of one batch;
 * :class:`DiscoveryResult` — the full scored candidate set of one
   discovery run plus its pruning counters and acceptance view;
 * :class:`StreamUpdate` — the state of a dynamic session after a
@@ -17,10 +20,15 @@ grew one per subsystem:
 
 Each class has a stable ``to_dict()`` / ``from_dict()`` pair defining
 its JSON schema (``schema`` stamps the version, ``kind`` the record
-type), so HTTP payloads, CLI artifacts and persisted results all
-round-trip losslessly through ``json``.  ``from_dict`` validates its
-input and raises :class:`ValueError` on malformed payloads — the
-server's 400 path.
+type), so HTTP payloads, CLI artifacts, persisted results and the
+shard-worker pipe protocol all round-trip losslessly through ``json``.
+``from_dict`` validates its input and raises :class:`ValueError` on
+malformed payloads — the server's ``malformed_record`` path.
+
+This module also defines the service's **error contract**
+(:data:`ERROR_CODES`, :class:`ServiceError`): every failing endpoint
+answers one JSON envelope ``{"error": {"code", "message", "detail"}}``
+with a stable machine-readable code, never a bare string.
 """
 
 from __future__ import annotations
@@ -33,6 +41,115 @@ from repro.relation.fd import FunctionalDependency
 #: Version stamped into every ``to_dict()`` payload.  Bump on any
 #: backwards-incompatible schema change.
 SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Error contract
+# ----------------------------------------------------------------------
+#: The stable machine-readable error codes of the ``/v1`` API, mapped to
+#: their meaning.  Clients dispatch on ``error.code``; ``error.message``
+#: is human-readable and may change wording between releases,
+#: ``error.detail`` carries optional structured context.
+ERROR_CODES: Dict[str, str] = {
+    "unknown_route": "no route matches the request path",
+    "method_not_allowed": "the route exists, but not for this HTTP method",
+    "unknown_relation": "the addressed relation is not registered",
+    "relation_exists": "a relation with this name is already registered",
+    "malformed_record": "the request body failed schema validation",
+    "unknown_measure": "a requested measure name is not registered",
+    "not_dynamic": "a stream operation addressed a static session",
+    "body_too_large": "the request body exceeds the configured size cap",
+    "wrong_shard": "the request reached a worker that does not own the relation",
+    "internal_error": "unexpected server-side failure",
+}
+
+#: Default HTTP status per error code.
+ERROR_STATUS: Dict[str, int] = {
+    "unknown_route": 404,
+    "method_not_allowed": 405,
+    "unknown_relation": 404,
+    "relation_exists": 409,
+    "malformed_record": 400,
+    "unknown_measure": 400,
+    "not_dynamic": 400,
+    "body_too_large": 413,
+    "wrong_shard": 421,
+    "internal_error": 500,
+}
+
+
+class ServiceError(Exception):
+    """A coded service failure, serialisable as the one error envelope.
+
+    Every endpoint answers failures as ``{"error": {"code", "message",
+    "detail"}}`` where ``code`` is drawn from :data:`ERROR_CODES`; the
+    HTTP status follows :data:`ERROR_STATUS` unless overridden.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        detail: Optional[object] = None,
+        status: Optional[int] = None,
+    ):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}; known: {sorted(ERROR_CODES)}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+        self.status = status if status is not None else ERROR_STATUS[code]
+
+    def envelope(self) -> Dict[str, object]:
+        """The JSON error body: ``{"error": {"code", "message", "detail"}}``."""
+        return {
+            "error": {"code": self.code, "message": self.message, "detail": self.detail}
+        }
+
+    @classmethod
+    def from_envelope(
+        cls, payload: Mapping, status: Optional[int] = None
+    ) -> "ServiceError":
+        """Rebuild the error from its envelope (the client/pipe side)."""
+        error = payload.get("error") if isinstance(payload, Mapping) else None
+        if not isinstance(error, Mapping) or "code" not in error:
+            raise ValueError(f"not an error envelope: {payload!r}")
+        code = error["code"] if error["code"] in ERROR_CODES else "internal_error"
+        return cls(
+            code,
+            str(error.get("message", ERROR_CODES[code])),
+            detail=error.get("detail"),
+            status=status,
+        )
+
+
+#: Response fields that legitimately differ between two serving runs of
+#: the same request sequence: wall-clock timings and cache provenance.
+#: :func:`stable_view` strips exactly these, so "bit-identical serving"
+#: can be asserted as equality of the stripped payloads.
+VOLATILE_FIELDS = frozenset(
+    {"runtimes", "statistics_seconds", "cache_hit", "seconds", "uptime_seconds", "cache"}
+)
+
+
+def stable_view(payload: object) -> object:
+    """``payload`` with every volatile (timing/provenance) field removed.
+
+    Recurses through nested mappings and sequences; use it to compare
+    responses across serving configurations (serial vs sharded, batch vs
+    sequential) where the *numbers* must be bit-identical but wall-clock
+    fields cannot be.
+    """
+    if isinstance(payload, Mapping):
+        return {
+            key: stable_view(value)
+            for key, value in payload.items()
+            if key not in VOLATILE_FIELDS
+        }
+    if isinstance(payload, (list, tuple)):
+        return [stable_view(item) for item in payload]
+    return payload
 
 
 def fd_to_dict(fd: FunctionalDependency) -> Dict[str, List[str]]:
@@ -214,6 +331,93 @@ class ProfileResult:
         )
 
 
+@dataclass(frozen=True)
+class BatchScoreRequest:
+    """Many scoring requests against one relation, answered in one pass.
+
+    The batch is the unit of server-side coalescing: the owning shard
+    acquires the session lock once, shares the statistics cache across
+    all requests, and scores each *distinct* ``(fd, measures)`` probe
+    exactly once — duplicated probes (the common case under concurrent
+    clients) reuse the first result.  Results are bit-identical to
+    issuing the requests sequentially.
+    """
+
+    requests: Tuple[ProfileRequest, ...]
+
+    def __post_init__(self):
+        if not self.requests:
+            raise ValueError("a BatchScoreRequest needs at least one request")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "batch_score_request",
+            "requests": [request.to_dict() for request in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchScoreRequest":
+        _require(payload, ("requests",), "BatchScoreRequest")
+        _check_kind(payload, "batch_score_request")
+        requests = payload["requests"]
+        if isinstance(requests, (str, Mapping)) or not isinstance(requests, Sequence):
+            raise ValueError(f"'requests' must be a list of requests, got {requests!r}")
+        if not requests:
+            raise ValueError("'requests' must be non-empty")
+        return cls(
+            requests=tuple(ProfileRequest.from_dict(item) for item in requests)
+        )
+
+
+@dataclass
+class BatchScoreResult:
+    """The per-request results of one batched scoring pass.
+
+    ``results[i]`` answers ``requests[i]`` of the originating
+    :class:`BatchScoreRequest` and is exactly the :class:`ProfileResult`
+    a sequential ``score()`` of that request would have produced
+    (volatile timing fields aside — see :func:`stable_view`).
+    ``distinct`` counts the probes actually scored after in-batch
+    deduplication; ``seconds`` is the wall-clock of the whole pass.
+    """
+
+    relation: str
+    results: List[ProfileResult] = field(default_factory=list)
+    distinct: int = 0
+    seconds: float = 0.0
+    epoch: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "batch_score_result",
+            "relation": self.relation,
+            "results": [result.to_dict() for result in self.results],
+            "distinct": self.distinct,
+            "seconds": self.seconds,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchScoreResult":
+        _require(payload, ("relation", "results"), "BatchScoreResult")
+        _check_kind(payload, "batch_score_result")
+        return cls(
+            relation=str(payload["relation"]),
+            results=[ProfileResult.from_dict(item) for item in payload["results"]],
+            distinct=int(payload.get("distinct", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+            epoch=int(payload.get("epoch", 0)),
+        )
+
+
 @dataclass
 class DiscoveryResult:
     """All scored candidates of one discovery run, service-model form.
@@ -387,13 +591,23 @@ class StreamUpdate:
 #: ``from_dict`` dispatch by the payload's ``kind`` field.
 _KINDS = {
     "profile_request": ProfileRequest,
+    "batch_score_request": BatchScoreRequest,
     "scored_fd": ScoredFd,
     "profile_result": ProfileResult,
+    "batch_score_result": BatchScoreResult,
     "discovery_result": DiscoveryResult,
     "stream_update": StreamUpdate,
 }
 
-ServiceRecord = Union[ProfileRequest, ScoredFd, ProfileResult, DiscoveryResult, StreamUpdate]
+ServiceRecord = Union[
+    ProfileRequest,
+    BatchScoreRequest,
+    ScoredFd,
+    ProfileResult,
+    BatchScoreResult,
+    DiscoveryResult,
+    StreamUpdate,
+]
 
 
 def record_from_dict(payload: Mapping) -> ServiceRecord:

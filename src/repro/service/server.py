@@ -1,284 +1,358 @@
-"""The concurrent AFD profiling server: JSON over HTTP, stdlib only.
+"""The AFD profiling service: versioned JSON-over-HTTP API, stdlib only.
 
-``python -m repro.serve`` starts a :class:`ThreadingHTTPServer` exposing
-the :class:`~repro.service.session.AfdSession` facade over named
-relations.  Every worker thread serving a request goes through the
-per-session lock, so concurrent reads share one session's cached
-artifacts (columnar view, partitions, statistics) safely.
+``python -m repro.serve`` starts the selector-based
+:class:`~repro.service.http.AsyncHttpServer` front end over the
+operation executor of :mod:`repro.service.ops` — either **in-process**
+(``--workers 0``, every session lives in the serving process) or
+**sharded** (``--workers N``, every relation owned by exactly one
+worker process of :mod:`repro.service.shard`, chosen by consistent
+hashing, so statistics passes run outside the front end's GIL).
 
-Endpoints (all payloads are the ``to_dict`` schemas of
-:mod:`repro.service.model`):
+The wire API is versioned under ``/v1/``:
 
-===========================  ======  ==================================
-``/healthz``                 GET     liveness + version + session names
-``/relations``               GET     per-session summaries & cache info
-``/relations``               POST    register a named relation
-``/score``                   POST    profile one FD on a session
-``/discover``                POST    lattice discovery on a session
-``/stream/<name>/delta``     POST    apply a mutation batch
-===========================  ======  ==================================
+==========================================  ======  ====================
+``/v1/healthz``                             GET     liveness + sessions
+``/v1/relations``                           GET     per-session summary
+``/v1/relations``                           POST    register a relation
+``/v1/relations/<name>/score``              POST    profile FD(s); a
+                                                    ``requests`` list
+                                                    scores a batch
+``/v1/relations/<name>/discover``           POST    lattice discovery
+``/v1/relations/<name>/delta``              POST    apply a mutation
+==========================================  ======  ====================
 
-``POST /relations`` body::
-
-    {"name": "orders", "attributes": ["zip", "city"],
-     "rows": [["1000", "Brussels"], ...],
-     "dynamic": true,          # optional: allow /stream/<name>/delta
-     "window": 1000,           # optional: sliding window (implies dynamic)
-     "replace": false}         # optional: overwrite an existing session
-
-Errors are JSON ``{"error": ...}`` with 400 (malformed payload), 404
-(unknown route/relation), 405 (wrong method) or 409 (name collision).
+The PR-5 unversioned routes (``/healthz``, ``/relations``, ``/score``,
+``/discover``, ``/stream/<name>/delta``) remain as deprecated aliases:
+they serve identical payloads, carry a ``Deprecation: true`` header plus
+a ``Link: <successor>; rel="successor-version"`` pointer, and log once
+per route.  Failures use the envelope contract of
+:mod:`repro.service.model`: ``{"error": {"code", "message", "detail"}}``
+with the stable codes in ``ERROR_CODES``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import signal
 import sys
-import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import __version__
-from repro.relation.relation import Relation
-from repro.service.model import ProfileRequest
-from repro.service.session import AfdSession
+from repro.service.http import MAX_BODY_BYTES, AsyncHttpServer
+from repro.service.model import ServiceError
+from repro.service.ops import RELATION_OPS, ServiceState, execute
+from repro.service.shard import ShardDispatcher, ShardPool
 
-#: Default request-body cap (16 MiB) — plenty for benchmark-scale
-#: relation uploads, small enough to bound a hostile payload.
-MAX_BODY_BYTES = 16 * 1024 * 1024
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ROUTES",
+    "ServiceApp",
+    "ServiceState",
+    "build_parser",
+    "main",
+    "make_server",
+    "make_sharded_server",
+]
 
 
-class _UnknownResource(Exception):
-    """An addressed resource (relation name) does not exist: HTTP 404.
+# ----------------------------------------------------------------------
+# Routing table
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Route:
+    """One row of the routing table: ``method`` + ``pattern`` → ``op``.
 
-    Distinct from :class:`KeyError` so that payload-level lookup errors
-    (e.g. an unknown measure name) keep their documented 400 mapping.
+    ``pattern`` uses ``{name}`` placeholders captured into the payload
+    (the URL wins over any body field of the same meaning).  Deprecated
+    rows alias a ``successor`` ``/v1`` route and answer with a
+    ``Deprecation`` header.
     """
 
+    method: str
+    pattern: str
+    op: str
+    deprecated: bool = False
+    successor: Optional[str] = None
+    regex: "re.Pattern" = field(init=False, repr=False, compare=False)
 
-class ServiceState:
-    """The server's session registry (thread-safe)."""
+    def __post_init__(self):
+        escaped = re.escape(self.pattern).replace(r"\{name\}", r"(?P<name>[^/]+)")
+        object.__setattr__(self, "regex", re.compile(f"^{escaped}$"))
+
+
+#: The complete wire API.  Order matters only for documentation; every
+#: pattern is anchored and unambiguous.
+ROUTES: Tuple[Route, ...] = (
+    Route("GET", "/v1/healthz", "healthz"),
+    Route("GET", "/v1/relations", "relations"),
+    Route("POST", "/v1/relations", "register"),
+    Route("POST", "/v1/relations/{name}/score", "score"),
+    Route("POST", "/v1/relations/{name}/discover", "discover"),
+    Route("POST", "/v1/relations/{name}/delta", "delta"),
+    # PR-5 unversioned aliases (deprecated; removal tracked in README).
+    Route("GET", "/healthz", "healthz", deprecated=True, successor="/v1/healthz"),
+    Route("GET", "/relations", "relations", deprecated=True, successor="/v1/relations"),
+    Route("POST", "/relations", "register", deprecated=True, successor="/v1/relations"),
+    Route(
+        "POST", "/score", "score",
+        deprecated=True, successor="/v1/relations/{name}/score",
+    ),
+    Route(
+        "POST", "/discover", "discover",
+        deprecated=True, successor="/v1/relations/{name}/discover",
+    ),
+    Route(
+        "POST", "/stream/{name}/delta", "delta",
+        deprecated=True, successor="/v1/relations/{name}/delta",
+    ),
+)
+
+
+def match_route(method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+    """Resolve ``method path`` against :data:`ROUTES`.
+
+    Raises :class:`ServiceError` ``unknown_route`` (404) for an unknown
+    path and ``method_not_allowed`` (405, with the allowed verbs in the
+    detail) for a known path addressed with the wrong verb.
+    """
+    allowed: List[str] = []
+    for route in ROUTES:
+        match = route.regex.match(path)
+        if match is None:
+            continue
+        if route.method == method:
+            return route, match.groupdict()
+        allowed.append(route.method)
+    if allowed:
+        raise ServiceError(
+            "method_not_allowed",
+            f"{method} is not allowed on {path}",
+            detail={"allowed": sorted(set(allowed))},
+        )
+    raise ServiceError("unknown_route", f"unknown route {method} {path}")
+
+
+# ----------------------------------------------------------------------
+# The application (handler for AsyncHttpServer)
+# ----------------------------------------------------------------------
+class ServiceApp:
+    """Routes HTTP requests onto the executor or the shard dispatcher.
+
+    Inline mode (``dispatcher is None``): every operation runs through
+    :func:`repro.service.ops.execute` against ``state`` on the event
+    loop.  Sharded mode: relation-scoped operations are submitted to the
+    owning worker through the :class:`~repro.service.shard.ShardDispatcher`
+    (the front door keeps only the relation → worker routing table and
+    answers ``healthz`` itself).
+    """
 
     def __init__(
         self,
-        backend: Optional[str] = None,
-        measure_options: Optional[Dict[str, object]] = None,
+        state: Optional[ServiceState] = None,
+        dispatcher: Optional[ShardDispatcher] = None,
+        quiet: bool = True,
     ):
-        self._backend = backend
-        self._measure_options = dict(measure_options or {})
-        self._sessions: Dict[str, AfdSession] = {}
-        self._lock = threading.Lock()
-        self.started = time.time()
+        if (state is None) == (dispatcher is None):
+            raise ValueError("pass exactly one of state= (inline) or dispatcher= (sharded)")
+        self.state = state
+        self.dispatcher = dispatcher
+        self.quiet = quiet
+        self._deprecation_logged: set = set()
+        #: Sharded mode: relation name -> owning worker id (filled on
+        #: successful registration; single-threaded on the event loop).
+        self._routing: Dict[str, int] = {}
+        self._started = time.time()
 
-    def register_session(self, name: str, session: AfdSession, replace: bool = False) -> None:
-        with self._lock:
-            if name in self._sessions and not replace:
-                raise FileExistsError(
-                    f"relation {name!r} is already registered (pass 'replace': true)"
+    # -- plumbing -------------------------------------------------------
+    def _deprecation_headers(self, route: Route) -> List[Tuple[str, str]]:
+        headers = [("Deprecation", "true")]
+        if route.successor:
+            headers.append(("Link", f'<{route.successor}>; rel="successor-version"'))
+        if route.pattern not in self._deprecation_logged:
+            self._deprecation_logged.add(route.pattern)
+            if not self.quiet:
+                sys.stderr.write(
+                    f"deprecated route {route.method} {route.pattern} used; "
+                    f"migrate to {route.successor or '/v1'}\n"
                 )
-            self._sessions[name] = session
+        return headers
 
-    def register_relation(self, payload: Dict[str, object]) -> AfdSession:
-        """Build and register a session from a ``POST /relations`` body."""
-        for key in ("name", "attributes", "rows"):
-            if key not in payload:
-                raise ValueError(f"relation payload is missing {key!r}")
-        name = str(payload["name"])
-        if not name:
-            raise ValueError("relation name must be non-empty")
-        attributes = payload["attributes"]
-        rows = [tuple(row) for row in payload["rows"]]  # type: ignore[union-attr]
-        window = payload.get("window")
-        dynamic = bool(payload.get("dynamic", False)) or window is not None
-        if dynamic:
-            from repro.stream.dynamic import DynamicRelation
-
-            relation = DynamicRelation(
-                attributes,  # type: ignore[arg-type]
-                rows,
-                name=name,
-                window=None if window is None else int(window),  # type: ignore[arg-type]
-            )
-        else:
-            relation = Relation(attributes, rows, name=name)  # type: ignore[arg-type]
-        session = AfdSession(
-            relation, backend=self._backend, name=name, **self._measure_options
-        )
-        self.register_session(name, session, replace=bool(payload.get("replace", False)))
-        return session
-
-    def session(self, name: str) -> AfdSession:
-        with self._lock:
-            session = self._sessions.get(name)
-        if session is None:
-            raise KeyError(f"unknown relation {name!r}; registered: {self.session_names()}")
-        return session
-
-    def session_names(self) -> List[str]:
-        with self._lock:
-            return sorted(self._sessions)
-
-    def describe(self) -> List[Dict[str, object]]:
-        with self._lock:
-            sessions = list(self._sessions.values())
-        return [session.describe() for session in sessions]
-
-
-class ServiceHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the shared :class:`ServiceState`."""
-
-    #: Injected by :func:`make_server`.
-    state: ServiceState = None  # type: ignore[assignment]
-    quiet = True
-    protocol_version = "HTTP/1.1"
-
-    # ------------------------------------------------------------------
-    # Plumbing
-    # ------------------------------------------------------------------
-    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        if not self.quiet:
-            sys.stderr.write(
-                f"{self.address_string()} - {format % args}\n"
-            )
-
-    def _send_json(self, status: int, payload: object) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
-
-    def _read_body(self) -> Dict[str, object]:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            raise ValueError("request body required (Content-Length missing or 0)")
-        if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+    @staticmethod
+    def _parse_body(method: str, body: Optional[bytes]) -> Dict[str, object]:
+        if body is None or not body:
+            if method == "POST":
+                raise ServiceError(
+                    "malformed_record",
+                    "request body required (Content-Length missing or 0)",
+                )
+            return {}
         try:
-            payload = json.loads(raw)
+            payload = json.loads(body)
         except json.JSONDecodeError as error:
-            raise ValueError(f"request body is not valid JSON: {error}") from error
+            raise ServiceError(
+                "malformed_record", f"request body is not valid JSON: {error}"
+            ) from None
         if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
+            raise ServiceError("malformed_record", "request body must be a JSON object")
         return payload
 
-    def _resolve_session(self, name: object) -> AfdSession:
-        if not isinstance(name, str) or not name:
-            raise ValueError("payload must name the target 'relation'")
+    # -- the Handler ----------------------------------------------------
+    def __call__(self, method: str, path: str, body: Optional[bytes], respond) -> None:
         try:
-            return self.state.session(name)
-        except KeyError as error:
-            raise _UnknownResource(error.args[0]) from error
+            route, params = match_route(method, path)
+            payload = self._parse_body(method, body)
+        except ServiceError as error:
+            respond(error.status, error.envelope())
+            return
+        extra = self._deprecation_headers(route) if route.deprecated else []
+        if "name" in params:
+            # The URL names the relation authoritatively.
+            payload["relation"] = params["name"]
+        op = route.op
+        if op == "score" and "requests" in payload:
+            op = "score_batch"
+        if self.dispatcher is None:
+            status, out = execute(self.state, op, payload)
+            respond(status, out, extra)
+        else:
+            self._dispatch_sharded(op, payload, respond, extra)
 
-    def _session_from(self, payload: Dict[str, object]) -> AfdSession:
-        return self._resolve_session(payload.get("relation"))
+    # -- sharded dispatch ----------------------------------------------
+    def _dispatch_sharded(self, op, payload, respond, extra) -> None:
+        pool = self.dispatcher.pool
 
-    # ------------------------------------------------------------------
-    # Routes
-    # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path == "/healthz":
-            self._send_json(
+        def answer(status: int, out: object) -> None:
+            respond(status, out, extra)
+
+        if op == "healthz":
+            respond(
                 200,
                 {
                     "status": "ok",
                     "version": __version__,
-                    "sessions": self.state.session_names(),
-                    "uptime_seconds": time.time() - self.state.started,
+                    "sessions": sorted(self._routing),
+                    "uptime_seconds": time.time() - self._started,
+                    "workers": pool.num_workers,
                 },
+                extra,
             )
-        elif self.path == "/relations":
-            self._send_json(200, {"relations": self.state.describe()})
-        else:
-            self._error(404, f"unknown route GET {self.path}")
+            return
+        if op == "relations":
+            def merge(replies):
+                merged: List[Dict[str, object]] = []
+                for status, decoded in replies:
+                    if status != 200:
+                        return status, decoded
+                    merged.extend(decoded.get("relations", []))
+                merged.sort(key=lambda entry: str(entry.get("name")))
+                return 200, {"relations": merged}
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        try:
-            payload = self._read_body()
-            if self.path == "/relations":
-                session = self.state.register_relation(payload)
-                self._send_json(201, session.describe())
-            elif self.path == "/score":
-                session = self._session_from(payload)
-                request = ProfileRequest.from_dict(
-                    {"fd": payload.get("fd"), "measures": payload.get("measures")}
-                )
-                self._send_json(200, session.profile(request).to_dict())
-            elif self.path == "/discover":
-                session = self._session_from(payload)
-                result = session.discover(
-                    threshold=payload.get("threshold", 0.9),
-                    max_lhs_size=int(payload.get("max_lhs_size", 1)),  # type: ignore[arg-type]
-                    g3_bound=payload.get("g3_bound"),  # type: ignore[arg-type]
-                    minimal_cover=bool(payload.get("minimal_cover", False)),
-                    measures=payload.get("measures"),  # type: ignore[arg-type]
-                )
-                self._send_json(200, result.to_dict())
-            elif self.path.startswith("/stream/") and self.path.endswith("/delta"):
-                name = self.path[len("/stream/") : -len("/delta")]
-                session = self._resolve_session(name)
-                update = session.apply_delta(
-                    inserts=[tuple(row) for row in payload.get("inserts", ())],  # type: ignore[union-attr]
-                    deletes=[int(row_id) for row_id in payload.get("deletes", ())],  # type: ignore[union-attr]
-                    measures=payload.get("measures"),  # type: ignore[arg-type]
-                )
-                self._send_json(200, update.to_dict())
-            else:
-                self._error(404, f"unknown route POST {self.path}")
-        except FileExistsError as error:
-            self._error(409, str(error))
-        except _UnknownResource as error:
-            self._error(404, str(error))
-        except KeyError as error:
-            # Payload-level lookup failures (unknown measure names, missing
-            # keys) are the client's input, not a missing resource.
-            self._error(400, error.args[0] if error.args else str(error))
-        except (TypeError, ValueError) as error:
-            self._error(400, str(error))
+            self.dispatcher.submit_broadcast(op, payload, answer, merge)
+            return
+        if op == "register":
+            name = payload.get("name")
+            if not isinstance(name, str) or not name:
+                error = ServiceError("malformed_record", "relation name must be non-empty")
+                respond(error.status, error.envelope(), extra)
+                return
+            worker_id = pool.owner(name)
 
-    def do_PUT(self) -> None:  # noqa: N802 - stdlib casing
-        self._error(405, "only GET and POST are supported")
+            def on_registered(status: int, out: object) -> None:
+                if status == 201:
+                    self._routing[name] = worker_id
+                respond(status, out, extra)
 
-    do_DELETE = do_PUT
+            self.dispatcher.submit(worker_id, op, payload, on_registered)
+            return
+        # Relation-scoped operations route by the front-door table so an
+        # unknown name fails fast without a pipe round trip.
+        name = payload.get("relation")
+        if not isinstance(name, str) or not name:
+            error = ServiceError(
+                "malformed_record", "the request must name the target relation"
+            )
+            respond(error.status, error.envelope(), extra)
+            return
+        worker_id = self._routing.get(name)
+        if worker_id is None:
+            error = ServiceError(
+                "unknown_relation",
+                f"unknown relation {name!r}",
+                detail={"relation": name, "registered": sorted(self._routing)},
+            )
+            respond(error.status, error.envelope(), extra)
+            return
+        self.dispatcher.submit(worker_id, op, payload, answer)
 
 
+# ----------------------------------------------------------------------
+# Server builders
+# ----------------------------------------------------------------------
 def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     state: Optional[ServiceState] = None,
     quiet: bool = True,
-) -> Tuple[ThreadingHTTPServer, ServiceState]:
-    """Build a ready-to-serve (but not yet serving) server + state pair.
+) -> Tuple[AsyncHttpServer, ServiceState]:
+    """Build a ready-to-serve in-process server + state pair.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — the in-process testing and benchmarking
-    entry point.
+    entry point.  The ``(server, state)`` return contract is unchanged
+    from the threaded PR-5 server.
     """
     state = state if state is not None else ServiceState()
-    handler = type(
-        "BoundServiceHandler", (ServiceHandler,), {"state": state, "quiet": quiet}
-    )
-    server = ThreadingHTTPServer((host, port), handler)
-    server.daemon_threads = True
+    app = ServiceApp(state=state, quiet=quiet)
+    server = AsyncHttpServer(host, port, handler=app, quiet=quiet)
     return server, state
 
 
+def make_sharded_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    backend: Optional[str] = None,
+    measure_options: Optional[Dict[str, object]] = None,
+    quiet: bool = True,
+) -> Tuple[AsyncHttpServer, ShardPool]:
+    """Build a sharded server: ``workers`` processes behind one front end.
+
+    The pool forks **before** any serving thread starts (call this from
+    the thread that will own the server, then hand ``serve_forever`` to
+    a thread).  ``server_close()`` stops the pool.
+    """
+    pool = ShardPool(workers, backend=backend, measure_options=measure_options)
+    server = AsyncHttpServer(host, port, quiet=quiet)
+    dispatcher = ShardDispatcher(pool, server.add_reader)
+    server.handler = ServiceApp(dispatcher=dispatcher, quiet=quiet)
+    server.on_close.append(pool.stop)
+    return server, pool
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="Serve AFD profiling sessions over HTTP (JSON API).",
+        description="Serve AFD profiling sessions over HTTP (JSON /v1 API).",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     parser.add_argument(
         "--port", type=int, default=8765, help="port (default: 8765; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard worker processes (default: 0 = in-process serving; "
+            "N > 0 distributes relations over N session-owning processes)"
+        ),
     )
     parser.add_argument(
         "--backend",
@@ -302,32 +376,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
     )
     parser.add_argument(
-        "--verbose", action="store_true", help="log one line per handled request"
+        "--verbose", action="store_true", help="log deprecations and server events"
     )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    state = ServiceState(
-        backend=args.backend,
-        measure_options={
-            "expectation": args.expectation,
-            "mc_samples": args.mc_samples,
-            "sfi_alpha": args.sfi_alpha,
-        },
-    )
-    server, _ = make_server(args.host, args.port, state=state, quiet=not args.verbose)
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
+    measure_options = {
+        "expectation": args.expectation,
+        "mc_samples": args.mc_samples,
+        "sfi_alpha": args.sfi_alpha,
+    }
+    if args.workers > 0:
+        server, _pool = make_sharded_server(
+            args.host,
+            args.port,
+            workers=args.workers,
+            backend=args.backend,
+            measure_options=measure_options,
+            quiet=not args.verbose,
+        )
+        mode = f"sharded across {args.workers} workers"
+    else:
+        state = ServiceState(backend=args.backend, measure_options=measure_options)
+        server, _ = make_server(args.host, args.port, state=state, quiet=not args.verbose)
+        mode = "in-process"
     host, port = server.server_address[:2]
 
     def _shutdown(signum, frame):  # pragma: no cover - signal path
-        # shutdown() blocks until serve_forever returns, so call it off
-        # the main thread the signal interrupted.
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        server.shutdown()
 
     signal.signal(signal.SIGINT, _shutdown)
     signal.signal(signal.SIGTERM, _shutdown)
-    print(f"repro service listening on http://{host}:{port}", file=sys.stderr, flush=True)
+    print(
+        f"repro service listening on http://{host}:{port} ({mode})",
+        file=sys.stderr,
+        flush=True,
+    )
     server.serve_forever()
     server.server_close()
     print("repro service shut down cleanly", file=sys.stderr)

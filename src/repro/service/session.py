@@ -47,6 +47,8 @@ from repro.core.statistics import FdStatistics
 from repro.relation.fd import FunctionalDependency
 from repro.relation.relation import Relation
 from repro.service.model import (
+    BatchScoreRequest,
+    BatchScoreResult,
     DiscoveryResult,
     ProfileRequest,
     ProfileResult,
@@ -208,8 +210,7 @@ class AfdSession:
         """Pre-seed the statistics cache for ``fd`` at the current epoch.
 
         The caller asserts the statistics describe this session's current
-        relation; the legacy ``score_with_shared_statistics(...,
-        statistics=...)`` shim routes through here.
+        relation (a precomputed pass being reused across sessions).
         """
         with self._lock:
             self._statistics[fd_from_value(fd)] = statistics
@@ -313,6 +314,55 @@ class AfdSession:
         if not isinstance(request, ProfileRequest):
             request = ProfileRequest.from_dict(request)
         return self.score(request.fd, measures=request.measures)
+
+    def score_many(
+        self, requests: Union[BatchScoreRequest, Sequence[Union[ProfileRequest, Mapping]]]
+    ) -> BatchScoreResult:
+        """Answer many scoring requests in one batched statistics pass.
+
+        The whole batch runs under a single lock acquisition: the first
+        probe of each FD pays (at most) one statistics pass, every later
+        probe is a cache hit, and *identical* ``(fd, measures)`` probes —
+        the common shape when concurrent clients hammer one hot FD — are
+        scored once and fanned out.  ``results[i]`` is bit-identical
+        (``==`` on every non-volatile field, exactly equal scores) to
+        ``score(requests[i].fd, requests[i].measures)`` issued
+        sequentially in batch order.
+        """
+        if isinstance(requests, BatchScoreRequest):
+            items: Sequence[Union[ProfileRequest, Mapping]] = requests.requests
+        else:
+            items = requests
+        parsed = [
+            item
+            if isinstance(item, ProfileRequest)
+            else ProfileRequest.from_dict(item)
+            for item in items
+        ]
+        if not parsed:
+            raise ValueError("score_many() needs at least one request")
+        with self._lock:
+            started = time.perf_counter()
+            results: List[Optional[ProfileResult]] = [None] * len(parsed)
+            first_index: Dict[Tuple[FunctionalDependency, Optional[Tuple[str, ...]]], int] = {}
+            for index, request in enumerate(parsed):
+                key = (fd_from_value(request.fd), request.measures)
+                seen = first_index.get(key)
+                if seen is None:
+                    first_index[key] = index
+                    results[index] = self.score(request.fd, measures=request.measures)
+                else:
+                    # A duplicated probe: the sequential result would be
+                    # byte-identical (same cached statistics, same
+                    # measures), so reuse it instead of re-scoring.
+                    results[index] = results[seen]
+            return BatchScoreResult(
+                relation=self.name,
+                results=list(results),  # type: ignore[arg-type]
+                distinct=len(first_index),
+                seconds=time.perf_counter() - started,
+                epoch=self._epoch,
+            )
 
     # ------------------------------------------------------------------
     # Discovery

@@ -12,9 +12,13 @@ Contracts under test:
 * the session's artifact caches are shared — across calls, across
   discovery-then-score, and across concurrent threads, with hit/miss
   counters proving it;
-* the HTTP server serves the same numbers over ``urllib`` and fails
-  cleanly (400/404/405/409) on bad input;
+* the HTTP server serves the same numbers over ``urllib`` on the
+  versioned ``/v1`` routes (and their deprecated unversioned aliases)
+  and fails with the ``{"error": {"code", "message", "detail"}}``
+  envelope (400/404/405/409/413) on bad input;
 * ``python -m repro`` dispatches to the subsystem CLIs.
+
+Sharded serving (``--workers N``) is covered in ``test_shard.py``.
 
 Tests that need numpy are marked; the remainder also run in the
 no-numpy CI job.
@@ -33,15 +37,20 @@ from repro.core.statistics import FdStatistics
 from repro.discovery import discover_afds, minimal_cover
 from repro.relation import FunctionalDependency, Relation
 from repro.service import (
+    ERROR_CODES,
     AfdSession,
+    BatchScoreRequest,
+    BatchScoreResult,
     DiscoveryResult,
     ProfileRequest,
     ProfileResult,
     ScoredFd,
+    ServiceError,
     StreamUpdate,
     record_from_dict,
+    stable_view,
 )
-from repro.service.server import ServiceState, make_server
+from repro.service.server import ROUTES, ServiceState, make_server, match_route
 from repro.stream import DynamicRelation
 
 try:
@@ -152,6 +161,70 @@ def test_record_from_dict_rejects_unknown_kind():
         record_from_dict({"kind": "mystery"})
     with pytest.raises(ValueError):
         record_from_dict(["not", "a", "mapping"])
+
+
+def test_batch_score_records_round_trip():
+    batch = BatchScoreRequest(
+        requests=(
+            ProfileRequest(FunctionalDependency("a", "b")),
+            ProfileRequest(FunctionalDependency("b", "c"), measures=("g3",)),
+        )
+    )
+    rebuilt = BatchScoreRequest.from_dict(json.loads(json.dumps(batch.to_dict())))
+    assert rebuilt == batch and len(rebuilt) == 2
+    assert record_from_dict(batch.to_dict()) == batch
+    with pytest.raises(ValueError):
+        BatchScoreRequest(requests=())
+    with pytest.raises(ValueError):
+        BatchScoreRequest.from_dict({"kind": "batch_score_request", "requests": "nope"})
+
+    result = BatchScoreResult(
+        relation="t",
+        results=[
+            ProfileResult(
+                relation="t",
+                num_rows=3,
+                scored=ScoredFd(lhs=("a",), rhs=("b",), scores={"g3": 1.0}, exact=True),
+            )
+        ],
+        distinct=1,
+        epoch=2,
+    )
+    rebuilt_result = BatchScoreResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt_result == result and len(rebuilt_result) == 1
+    assert record_from_dict(result.to_dict()) == result
+
+
+def test_service_error_envelope_contract():
+    error = ServiceError("unknown_relation", "no such thing", detail={"relation": "x"})
+    assert error.status == 404
+    envelope = error.envelope()
+    assert envelope == {
+        "error": {
+            "code": "unknown_relation",
+            "message": "no such thing",
+            "detail": {"relation": "x"},
+        }
+    }
+    rebuilt = ServiceError.from_envelope(json.loads(json.dumps(envelope)))
+    assert (rebuilt.code, rebuilt.message, rebuilt.detail) == (
+        error.code, error.message, error.detail,
+    )
+    with pytest.raises(ValueError):
+        ServiceError("no_such_code", "boom")
+    # Every documented code maps to a concrete HTTP status.
+    assert all(isinstance(ServiceError(code, "x").status, int) for code in ERROR_CODES)
+
+
+def test_stable_view_strips_volatile_fields():
+    payload = {
+        "scores": {"g3": 0.5},
+        "runtimes": {"g3": 0.001},
+        "statistics_seconds": 0.2,
+        "cache_hit": True,
+        "nested": [{"seconds": 1.0, "epoch": 3}],
+    }
+    assert stable_view(payload) == {"scores": {"g3": 0.5}, "nested": [{"epoch": 3}]}
 
 
 def test_discovery_result_round_trip_and_views():
@@ -294,23 +367,24 @@ def test_seed_statistics_short_circuits_compute():
     assert result.cache_hit and result.statistics_seconds == 0.0
 
 
-@requires_numpy  # importing repro.evaluation pulls in the synthetic generators
-def test_legacy_shim_routes_through_session():
-    from repro.evaluation.scoring import score_with_shared_statistics
-
-    relation = small_relation()
-    fd = FunctionalDependency("zip", "city")
-    scores, runtimes, statistics_seconds = score_with_shared_statistics(
-        relation, fd, MEASURES
-    )
-    statistics = FdStatistics.compute(small_relation(), fd)
-    assert scores == {
-        name: measure.score_from_statistics(statistics)
-        for name, measure in MEASURES.items()
-    }
-    assert statistics_seconds > 0.0
-    supplied = score_with_shared_statistics(relation, fd, MEASURES, statistics=statistics)
-    assert supplied[0] == scores and supplied[2] == 0.0
+def test_score_many_matches_sequential_scores():
+    session = AfdSession(small_relation(), measures=MEASURES)
+    requests = [
+        ProfileRequest(FunctionalDependency("zip", "city")),
+        ProfileRequest(FunctionalDependency("city", "zip"), measures=("g3",)),
+        ProfileRequest(FunctionalDependency("zip", "city")),  # duplicate probe
+    ]
+    batch = session.score_many(BatchScoreRequest(requests=tuple(requests)))
+    assert len(batch) == 3 and batch.relation == session.name
+    # One statistics pass per *distinct* probe; duplicates share it.
+    assert batch.distinct == 2
+    sequential = AfdSession(small_relation(), measures=MEASURES)
+    for request, result in zip(requests, batch.results):
+        reference = sequential.score(request.fd, measures=request.measures)
+        assert result.scores == reference.scores
+        assert result.fd == reference.fd
+    with pytest.raises(ValueError):
+        session.score_many([])
 
 
 # ----------------------------------------------------------------------
@@ -474,21 +548,34 @@ def service():
 
 def _get(url):
     with urllib.request.urlopen(url) as response:
-        return response.status, json.loads(response.read())
+        return response.status, json.loads(response.read()), dict(response.headers)
+
+
+def _request(url, payload, method="POST"):
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read()), dict(response.headers)
 
 
 def _post(url, payload):
-    request = urllib.request.Request(
-        url,
-        data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    with urllib.request.urlopen(request) as response:
-        return response.status, json.loads(response.read())
+    return _request(url, payload)
 
 
-def _register(base, name="demo", **extra):
+def _error_envelope(excinfo):
+    """Assert the failure body follows the envelope contract; return it."""
+    body = json.load(excinfo.value)
+    assert set(body) == {"error"}
+    assert set(body["error"]) == {"code", "message", "detail"}
+    assert body["error"]["code"] in ERROR_CODES
+    return body["error"]
+
+
+def _register(base, name="demo", prefix="/v1", **extra):
     relation = small_relation(name)
     payload = {
         "name": name,
@@ -496,45 +583,60 @@ def _register(base, name="demo", **extra):
         "rows": [list(row) for row in relation.rows()],
     }
     payload.update(extra)
-    return _post(f"{base}/relations", payload)
+    return _post(f"{base}{prefix}/relations", payload)
 
 
 def test_server_healthz_and_relations(service):
     base, _ = service
-    status, health = _get(f"{base}/healthz")
+    status, health, _ = _get(f"{base}/v1/healthz")
     assert status == 200 and health["status"] == "ok"
     assert health["sessions"] == []
-    status, body = _register(base)
+    status, body, _ = _register(base)
     assert status == 201 and body["num_rows"] == 6
-    status, listing = _get(f"{base}/relations")
+    status, listing, _ = _get(f"{base}/v1/relations")
     assert [entry["name"] for entry in listing["relations"]] == ["demo"]
-    assert _get(f"{base}/healthz")[1]["sessions"] == ["demo"]
+    assert _get(f"{base}/v1/healthz")[1]["sessions"] == ["demo"]
 
 
 def test_server_score_matches_library(service):
     base, state = service
     _register(base)
-    status, body = _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
+    status, body, _ = _post(f"{base}/v1/relations/demo/score", {"fd": "zip -> city"})
     assert status == 200 and body["kind"] == "profile_result"
     reference = state.session("demo").score("zip -> city")
     assert body["scores"] == reference.scores
     # A second identical request is served from the session cache.
-    status, again = _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
+    status, again, _ = _post(f"{base}/v1/relations/demo/score", {"fd": "zip -> city"})
     assert again["cache_hit"] is True and again["scores"] == body["scores"]
+
+
+def test_server_batch_score_matches_sequential(service):
+    base, state = service
+    _register(base)
+    probes = ["zip -> city", "city -> zip", "zip -> city"]
+    status, body, _ = _post(
+        f"{base}/v1/relations/demo/score",
+        {"requests": [{"fd": fd} for fd in probes]},
+    )
+    assert status == 200 and body["kind"] == "batch_score_result"
+    assert len(body["results"]) == 3 and body["distinct"] == 2
+    for fd, result in zip(probes, body["results"]):
+        reference = _post(f"{base}/v1/relations/demo/score", {"fd": fd})[1]
+        assert stable_view(result) == stable_view(reference)
 
 
 def test_server_discover_and_stream_delta(service):
     base, _ = service
     _register(base, dynamic=True)
-    status, found = _post(
-        f"{base}/discover",
-        {"relation": "demo", "threshold": 0.5, "max_lhs_size": 2},
+    status, found, _ = _post(
+        f"{base}/v1/relations/demo/discover",
+        {"threshold": 0.5, "max_lhs_size": 2},
     )
     assert status == 200 and found["kind"] == "discovery_result"
     assert found["counters"]["candidates"] > 0
-    _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})
-    status, update = _post(
-        f"{base}/stream/demo/delta",
+    _post(f"{base}/v1/relations/demo/score", {"fd": "zip -> city"})
+    status, update, _ = _post(
+        f"{base}/v1/relations/demo/delta",
         {"inserts": [["9999", "Gent", "q"]], "deletes": [0]},
     )
     assert status == 200 and update["kind"] == "stream_update"
@@ -542,31 +644,99 @@ def test_server_discover_and_stream_delta(service):
     assert "zip -> city" in update["scores"]
 
 
+def test_routing_table_dispatch():
+    # Every ROUTES row resolves to its operation, with URL parameters
+    # captured; wrong verbs 405 with the allowed set, unknown paths 404.
+    cases = {
+        ("GET", "/v1/healthz"): "healthz",
+        ("GET", "/v1/relations"): "relations",
+        ("POST", "/v1/relations"): "register",
+        ("POST", "/v1/relations/demo/score"): "score",
+        ("POST", "/v1/relations/demo/discover"): "discover",
+        ("POST", "/v1/relations/demo/delta"): "delta",
+        ("GET", "/healthz"): "healthz",
+        ("GET", "/relations"): "relations",
+        ("POST", "/relations"): "register",
+        ("POST", "/score"): "score",
+        ("POST", "/discover"): "discover",
+        ("POST", "/stream/demo/delta"): "delta",
+    }
+    assert len(cases) == len(ROUTES)
+    for (method, path), op in cases.items():
+        route, params = match_route(method, path)
+        assert route.op == op
+        if "{name}" in route.pattern:
+            assert params == {"name": "demo"}
+        assert route.deprecated == (not path.startswith("/v1"))
+        if route.deprecated:
+            assert route.successor.startswith("/v1")
+    with pytest.raises(ServiceError) as excinfo:
+        match_route("POST", "/v1/healthz")
+    assert excinfo.value.code == "method_not_allowed"
+    assert excinfo.value.detail == {"allowed": ["GET"]}
+    with pytest.raises(ServiceError) as excinfo:
+        match_route("GET", "/v1/relations/demo/score")
+    assert excinfo.value.code == "method_not_allowed"
+    with pytest.raises(ServiceError) as excinfo:
+        match_route("GET", "/nope")
+    assert excinfo.value.code == "unknown_route"
+
+
+def test_legacy_aliases_serve_with_deprecation_header(service):
+    base, state = service
+    status, body, headers = _register(base, prefix="")
+    assert status == 201 and headers.get("Deprecation") == "true"
+    assert 'rel="successor-version"' in headers.get("Link", "")
+    reference = state.session("demo").score("zip -> city").scores
+    for path, payload in (
+        ("/score", {"relation": "demo", "fd": "zip -> city"}),
+        ("/v1/relations/demo/score", {"fd": "zip -> city"}),
+    ):
+        status, body, headers = _post(f"{base}{path}", payload)
+        assert status == 200 and body["scores"] == reference
+        assert (headers.get("Deprecation") == "true") == (not path.startswith("/v1"))
+    status, health, headers = _get(f"{base}/healthz")
+    assert status == 200 and health["sessions"] == ["demo"]
+    assert headers.get("Deprecation") == "true"
+    assert headers.get("Link") == '</v1/healthz>; rel="successor-version"'
+
+
 def test_server_error_paths(service):
     base, _ = service
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _get(f"{base}/bogus")
     assert excinfo.value.code == 404
+    assert _error_envelope(excinfo)["code"] == "unknown_route"
     with pytest.raises(urllib.error.HTTPError) as excinfo:
-        _post(f"{base}/score", {"relation": "ghost", "fd": "a -> b"})
+        _post(f"{base}/v1/relations/ghost/score", {"fd": "a -> b"})
     assert excinfo.value.code == 404
+    envelope = _error_envelope(excinfo)
+    assert envelope["code"] == "unknown_relation"
+    assert envelope["detail"]["relation"] == "ghost"
     _register(base)
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _register(base)  # duplicate name without replace
     assert excinfo.value.code == 409
+    assert _error_envelope(excinfo)["code"] == "relation_exists"
     assert _register(base, replace=True)[0] == 201
     with pytest.raises(urllib.error.HTTPError) as excinfo:
-        _post(f"{base}/score", {"relation": "demo"})  # missing fd
+        _post(f"{base}/v1/relations/demo/score", {})  # missing fd
     assert excinfo.value.code == 400
+    assert _error_envelope(excinfo)["code"] == "malformed_record"
     with pytest.raises(urllib.error.HTTPError) as excinfo:
-        _post(f"{base}/stream/demo/delta", {"inserts": [["x"]]})  # static session
+        _post(f"{base}/v1/relations/demo/delta", {"inserts": [["x"]]})  # static
     assert excinfo.value.code == 400
+    assert _error_envelope(excinfo)["code"] == "not_dynamic"
     with pytest.raises(urllib.error.HTTPError) as excinfo:
-        request = urllib.request.Request(
-            f"{base}/score", data=b"{}", method="PUT"
-        )
-        urllib.request.urlopen(request)
+        _request(f"{base}/v1/relations/demo/score", {}, method="PUT")
     assert excinfo.value.code == 405
+    envelope = _error_envelope(excinfo)
+    assert envelope["code"] == "method_not_allowed"
+    assert envelope["detail"] == {"allowed": ["POST"]}
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _request(f"{base}/v1/relations/demo/score", None)  # no body
+    assert excinfo.value.code == 400
+    assert _error_envelope(excinfo)["code"] == "malformed_record"
 
 
 def test_server_concurrent_clients_share_one_session(service):
@@ -580,7 +750,7 @@ def test_server_concurrent_clients_share_one_session(service):
         try:
             for _ in range(5):
                 payloads.append(
-                    _post(f"{base}/score", {"relation": "demo", "fd": "zip -> city"})[1]
+                    _post(f"{base}/v1/relations/demo/score", {"fd": "zip -> city"})[1]
                 )
         except BaseException as error:  # pragma: no cover - failure reporting
             errors.append(error)
@@ -688,11 +858,13 @@ def test_server_unknown_measure_is_400_not_404(service):
     _register(base)
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _post(
-            f"{base}/score",
-            {"relation": "demo", "fd": "zip -> city", "measures": ["nope"]},
+            f"{base}/v1/relations/demo/score",
+            {"fd": "zip -> city", "measures": ["nope"]},
         )
     assert excinfo.value.code == 400
-    assert "unknown measures" in json.load(excinfo.value)["error"]
+    envelope = _error_envelope(excinfo)
+    assert envelope["code"] == "unknown_measure"
+    assert "unknown measures" in envelope["message"]
 
 
 @requires_numpy
