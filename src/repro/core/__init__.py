@@ -19,6 +19,8 @@ from repro.core.backends import (
     resolve_backend,
     set_default_backend,
 )
+from repro.core.chunked import compute_chunked
+from repro.core.partial import PartialFdCounts
 from repro.core.statistics import FdStatistics
 from repro.core.violation import G2Measure, G3Measure, G3PrimeMeasure, RhoMeasure
 from repro.core.logical import (
@@ -57,6 +59,7 @@ __all__ = [
     "MeasureClass",
     "MeasureProperties",
     "MuPlusMeasure",
+    "PartialFdCounts",
     "PdepMeasure",
     "RfiPlusMeasure",
     "RfiPrimePlusMeasure",
@@ -65,6 +68,7 @@ __all__ = [
     "TauMeasure",
     "all_measures",
     "available_backends",
+    "compute_chunked",
     "default_measures",
     "get_default_backend",
     "get_measure",

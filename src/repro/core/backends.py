@@ -49,7 +49,10 @@ import os
 from collections import Counter
 from typing import List, Optional, Tuple
 
+from repro.core.partial import PartialFdCounts
 from repro.core.statistics import FdStatistics
+from repro.relation.chunked import CodeChunk
+from repro.relation.columnar import _PACK_LIMIT, _dense_first_occurrence
 from repro.relation.fd import FunctionalDependency
 from repro.relation.operations import joint_counts
 from repro.relation.relation import Relation
@@ -66,6 +69,19 @@ _BACKEND_NAMES = ("python", "numpy")
 
 #: Process-wide default set via :func:`set_default_backend` (None = unset).
 _DEFAULT_BACKEND: Optional[str] = None
+
+
+def _fd_covers_schema(attributes: Tuple[str, ...], fd: FunctionalDependency) -> bool:
+    """True when the schema is exactly ``lhs + rhs`` in order.
+
+    Then every full tuple is the concatenation of its x and y keys, the
+    NULL restriction on ``X ∪ Y`` restricts on every attribute, and the
+    first occurrence of a full tuple is the first occurrence of its
+    ``(x, y)`` pair — so the full-tuple counts can be re-keyed from the
+    joint counts instead of being counted separately, with identical
+    counts in identical order.
+    """
+    return tuple(attributes) == fd.lhs + fd.rhs
 
 
 class PythonBackend:
@@ -86,6 +102,54 @@ class PythonBackend:
             restricted.frequencies(),
             relation_name=relation.name,
         )
+
+    def compute_partial(self, chunk: CodeChunk, fd: FunctionalDependency) -> PartialFdCounts:
+        """Code-keyed partial counts of one chunk (scalar scan).
+
+        Counts are keyed by tuples of dictionary codes — ``(x_codes,
+        y_codes)`` for the joint counts, the full code tuple for the
+        full-tuple counts (NULL stays ``-1`` there; rows NULL on
+        ``X ∪ Y`` are dropped entirely) — in first-occurrence order
+        within the chunk, so chunk-ordered merging reproduces a
+        monolithic scan's ``Counter`` order exactly.
+        """
+        lists = {a: chunk.column_list(a) for a in chunk.attributes}
+        lhs_columns = [lists[a] for a in fd.lhs]
+        rhs_columns = [lists[a] for a in fd.rhs]
+        partial = PartialFdCounts.empty()
+        xy_counts = partial.xy_counts
+        full_counts = partial.full_tuple_counts
+        kept = 0
+        if _fd_covers_schema(chunk.attributes, fd):
+            # The full tuple IS the (x, y) concatenation: count xy only
+            # and re-key afterwards (same counts, same first-occurrence
+            # order) — half the hot-loop dict work.
+            for xy_key in zip(zip(*lhs_columns), zip(*rhs_columns)):
+                if -1 in xy_key[0] or -1 in xy_key[1]:
+                    continue
+                kept += 1
+                previous = xy_counts.get(xy_key)
+                xy_counts[xy_key] = 1 if previous is None else previous + 1
+            for (x_key, y_key), count in xy_counts.items():
+                full_counts[x_key + y_key] = count
+            partial.num_rows = kept
+            return partial
+        all_columns = [lists[a] for a in chunk.attributes]
+        # One zip-of-zips scan: all three key tuples per row are built at
+        # C level — this loop is the chunked path's entire per-row cost.
+        for x_key, y_key, w_key in zip(
+            zip(*lhs_columns), zip(*rhs_columns), zip(*all_columns)
+        ):
+            if -1 in x_key or -1 in y_key:
+                continue
+            kept += 1
+            xy_key = (x_key, y_key)
+            previous = xy_counts.get(xy_key)
+            xy_counts[xy_key] = 1 if previous is None else previous + 1
+            previous = full_counts.get(w_key)
+            full_counts[w_key] = 1 if previous is None else previous + 1
+        partial.num_rows = kept
+        return partial
 
 
 class NumpyBackend:
@@ -151,6 +215,84 @@ class NumpyBackend:
             w_counts=w_groups.counts,
         )
         return statistics
+
+    def compute_partial(self, chunk: CodeChunk, fd: FunctionalDependency) -> PartialFdCounts:
+        """Code-keyed partial counts of one chunk (vectorised group-bys).
+
+        Same keys, counts and first-occurrence order as the python
+        backend's ``compute_partial`` — the per-chunk analogue of the
+        whole-relation bit-identity contract.  Packing radices are
+        per-chunk (derived from each chunk's observed code maxima); that
+        is safe because packing only groups rows *within* the chunk —
+        the emitted keys are the original global code tuples.
+        """
+        if np is None:  # pragma: no cover - numpy vanished mid-process
+            return PythonBackend().compute_partial(chunk, fd)
+        partial = PartialFdCounts.empty()
+        if chunk.num_rows == 0:
+            return partial
+        arrays = {a: np.asarray(chunk.column(a)) for a in chunk.attributes}
+
+        mask = None
+        for attribute in fd.attributes:
+            column_mask = arrays[attribute] >= 0
+            if not column_mask.all():
+                mask = column_mask if mask is None else mask & column_mask
+        if mask is not None:
+            arrays = {a: codes[mask] for a, codes in arrays.items()}
+        num_rows = int(arrays[fd.rhs[0]].shape[0])
+        partial.num_rows = num_rows
+        if num_rows == 0:
+            return partial
+
+        lhs_arrays = [arrays[a] for a in fd.lhs]
+        rhs_arrays = [arrays[a] for a in fd.rhs]
+        _, xy_group_counts, xy_firsts = _dense_first_occurrence(
+            _pack_arrays(lhs_arrays + rhs_arrays)
+        )
+        lhs_keys = [codes[xy_firsts].tolist() for codes in lhs_arrays]
+        rhs_keys = [codes[xy_firsts].tolist() for codes in rhs_arrays]
+        xy_counts = partial.xy_counts
+        for group, count in enumerate(xy_group_counts.tolist()):
+            xy_counts[
+                (
+                    tuple(column[group] for column in lhs_keys),
+                    tuple(column[group] for column in rhs_keys),
+                )
+            ] = count
+
+        full_counts = partial.full_tuple_counts
+        if _fd_covers_schema(chunk.attributes, fd):
+            for (x_key, y_key), count in xy_counts.items():
+                full_counts[x_key + y_key] = count
+            return partial
+        all_arrays = [arrays[a] for a in chunk.attributes]
+        _, w_group_counts, w_firsts = _dense_first_occurrence(_pack_arrays(all_arrays))
+        w_keys = [codes[w_firsts].tolist() for codes in all_arrays]
+        for group, count in enumerate(w_group_counts.tolist()):
+            full_counts[tuple(column[group] for column in w_keys)] = count
+        return partial
+
+
+def _pack_arrays(arrays: List["np.ndarray"]) -> "np.ndarray":
+    """Pairwise mixed-radix packing of raw code arrays (overflow-safe).
+
+    The chunk-level analogue of :meth:`ColumnarRelation._pack`: radices
+    come from each array's observed maximum (codes shifted by +1 so
+    ``-1``-NULL packs as 0), re-densifying via ``np.unique`` whenever the
+    accumulator would overflow the packing limit.
+    """
+    accumulator = arrays[0].astype(np.int64) + 1
+    maximum = int(accumulator.max(initial=0))
+    for codes in arrays[1:]:
+        shifted = codes.astype(np.int64) + 1
+        radix = int(shifted.max(initial=0)) + 1
+        if maximum >= _PACK_LIMIT // radix:
+            _, accumulator = np.unique(accumulator, return_inverse=True)
+            maximum = int(accumulator.max(initial=0))
+        accumulator = accumulator * radix + shifted
+        maximum = maximum * radix + radix - 1
+    return accumulator
 
 
 def _group_keys(columnar, rows, attributes: Tuple[str, ...], groups) -> List[Tuple]:

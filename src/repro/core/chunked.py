@@ -1,0 +1,277 @@
+"""Chunked map-merge statistics: per-chunk partial counts, merged in order.
+
+The driver behind ``FdStatistics.compute(..., chunk_size=, jobs=)``:
+split the relation into row chunks of dictionary codes, have the active
+backend compute one code-keyed :class:`~repro.core.partial.PartialFdCounts`
+per chunk (``compute_partial``), merge the partials **in chunk order**
+(which reproduces the global first-occurrence ``Counter`` order of a
+monolithic scan, see :mod:`repro.core.partial`), decode the merged
+code-tuple keys to value tuples once, and funnel through
+``FdStatistics.from_joint_counts`` — the same constructor the monolithic
+backends use, so the resulting statistics and every measure scored from
+them are bit-identical (``==``) to ``compute`` without chunking.
+
+Chunk sources, in preference order:
+
+* a :class:`~repro.relation.chunked.ChunkedRelation` — its stored chunks
+  and decode tables are used directly (its own ``chunk_size`` wins);
+* a :class:`~repro.relation.relation.Relation` with numpy available —
+  zero-copy slices of the cached columnar ``int32`` code arrays;
+* a plain :class:`Relation` without numpy — re-encoded through the
+  streaming ingest (``array.array`` codes), the pure-python compat path.
+
+``jobs > 1`` distributes chunks over a ``ProcessPoolExecutor`` with the
+repo's established discipline: picklable work units (compact code
+buffers, not row tuples), a module-level worker, bounded in-flight
+submissions, and a strictly chunk-ordered merge of results regardless of
+completion order — so parallel results are bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.partial import PartialFdCounts
+from repro.core.statistics import FdStatistics
+from repro.relation.chunked import ChunkedRelation, CodeChunk
+from repro.relation.fd import FunctionalDependency
+from repro.relation.relation import Relation
+
+#: Default rows per map-merge work unit when ``chunk_size`` is not given.
+DEFAULT_CHUNK_SIZE = 65_536
+
+#: Extra tasks kept in flight beyond the worker count (bounds the
+#: number of pickled chunks alive at once without starving the pool).
+_INFLIGHT_SLACK = 2
+
+#: Consecutive chunks pre-merged inside one worker task.  Within a band
+#: the keys of neighbouring chunks largely overlap, so shipping one
+#: band-merged partial back costs a fraction of shipping each chunk's
+#: counters individually; bands are contiguous and merged in band order,
+#: so the final key order is untouched.
+_BAND_CHUNKS = 4
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be None or >= 0, got {jobs}")
+    if jobs > 1 and multiprocessing.current_process().daemon:
+        # Daemonic processes (the service's forked shard workers being
+        # the in-repo case) may not have children; the serial map-merge
+        # is bit-identical, so degrade instead of crashing the request.
+        return 1
+    return jobs
+
+
+def _chunk_stream(
+    source, chunk_size: int
+) -> Tuple[Tuple[str, ...], Dict[str, List[object]], Iterable[CodeChunk]]:
+    """Resolve ``(attributes, decode tables, chunk iterator)`` for a source."""
+    if isinstance(source, ChunkedRelation):
+        return source.attributes, source.decode_tables(), source.iter_chunks()
+    if not isinstance(source, Relation):
+        raise TypeError(
+            f"chunked compute needs a Relation or ChunkedRelation, "
+            f"got {type(source).__name__}"
+        )
+    columnar = source.columnar()
+    if columnar is None:
+        # No numpy: re-encode through the streaming ingest (array.array
+        # codes).  Compat path — correct everywhere `python` backend is.
+        encoded = ChunkedRelation.from_relation(source, chunk_size=chunk_size)
+        return encoded.attributes, encoded.decode_tables(), encoded.iter_chunks()
+
+    attributes = source.attributes
+    tables = {a: columnar.decode_table(a) for a in attributes}
+
+    def chunks() -> Iterator[CodeChunk]:
+        codes = {a: columnar.codes(a) for a in attributes}
+        total = source.num_rows
+        for start in range(0, total, chunk_size):
+            stop = min(start + chunk_size, total)
+            yield CodeChunk(
+                attributes,
+                {a: column[start:stop] for a, column in codes.items()},
+                stop - start,
+            )
+
+    return attributes, tables, chunks()
+
+
+def _partial_task(
+    task: Tuple[int, str, FunctionalDependency, List[CodeChunk]],
+) -> Tuple[int, PartialFdCounts]:
+    """Worker: partial counts of one band of consecutive chunks.
+
+    Module-level (picklable under every start method); the band is
+    merged in chunk order inside the worker, so the parent only has to
+    fold whole bands in band order.
+    """
+    from repro.core.backends import resolve_backend
+
+    index, backend_name, fd, chunks = task
+    backend = resolve_backend(backend_name)
+    merged = PartialFdCounts.empty()
+    for chunk in chunks:
+        merged.merge(backend.compute_partial(chunk, fd))
+    return index, merged
+
+
+def _bands(chunks: Iterable[CodeChunk], band_size: int) -> Iterator[List[CodeChunk]]:
+    band: List[CodeChunk] = []
+    for chunk in chunks:
+        band.append(chunk)
+        if len(band) == band_size:
+            yield band
+            band = []
+    if band:
+        yield band
+
+
+def _merge_serial(chunks, fd, backend) -> PartialFdCounts:
+    merged = PartialFdCounts.empty()
+    for chunk in chunks:
+        merged.merge(backend.compute_partial(chunk, fd))
+    return merged
+
+
+def _merge_parallel(chunks, fd, backend, jobs: int) -> PartialFdCounts:
+    """Map chunks over a process pool, merge results in chunk order.
+
+    Submission is bounded (``jobs + slack`` chunks in flight) so a long
+    chunk stream never pickles itself into memory all at once; completed
+    partials are buffered by index and folded in strictly ascending
+    chunk order, preserving the serial merge's key order bit-for-bit.
+    """
+    merged = PartialFdCounts.empty()
+    pending_results: Dict[int, PartialFdCounts] = {}
+    next_to_merge = 0
+
+    def drain() -> None:
+        nonlocal next_to_merge
+        while next_to_merge in pending_results:
+            merged.merge(pending_results.pop(next_to_merge))
+            next_to_merge += 1
+
+    iterator = enumerate(_bands(chunks, _BAND_CHUNKS))
+    limit = jobs + _INFLIGHT_SLACK
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        in_flight = set()
+        exhausted = False
+        while not exhausted or in_flight:
+            while not exhausted and len(in_flight) < limit:
+                try:
+                    index, band = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                in_flight.add(pool.submit(_partial_task, (index, backend.name, fd, band)))
+            if not in_flight:
+                break
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, partial = future.result()
+                pending_results[index] = partial
+            drain()
+    drain()
+    return merged
+
+
+def _decode_counts(
+    merged: PartialFdCounts,
+    fd: FunctionalDependency,
+    attributes: Tuple[str, ...],
+    tables: Dict[str, List[object]],
+) -> Tuple[Counter, Counter]:
+    """Translate code-tuple keys to value-tuple keys, preserving order.
+
+    Decoding is order-preserving and injective (the dictionary encoding
+    dedupes ``==``-equal values, so distinct codes mean distinct
+    values), hence the decoded counters carry exactly the keys — in
+    exactly the order — a monolithic value-keyed scan produces.
+    """
+    lhs_tables = [tables[a] for a in fd.lhs]
+    rhs_tables = [tables[a] for a in fd.rhs]
+    xy_counts: Counter = Counter()
+    for (x_codes, y_codes), count in merged.xy_counts.items():
+        xy_counts[
+            (
+                tuple(table[code] for table, code in zip(lhs_tables, x_codes)),
+                tuple(table[code] for table, code in zip(rhs_tables, y_codes)),
+            )
+        ] = count
+    all_tables = [tables[a] for a in attributes]
+    full_counts: Counter = Counter()
+    for codes, count in merged.full_tuple_counts.items():
+        full_counts[
+            tuple(
+                table[code] if code >= 0 else None
+                for table, code in zip(all_tables, codes)
+            )
+        ] = count
+    return xy_counts, full_counts
+
+
+def compute_chunked(
+    source,
+    fd: FunctionalDependency,
+    chunk_size: Optional[int] = None,
+    jobs: int = 1,
+    backend: Optional[str] = None,
+) -> FdStatistics:
+    """Compute ``FdStatistics`` by chunked map-merge.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Relation` or :class:`ChunkedRelation`.
+    fd:
+        The candidate FD.
+    chunk_size:
+        Rows per work unit (default :data:`DEFAULT_CHUNK_SIZE`); ignored
+        for a :class:`ChunkedRelation`, whose stored chunking is used.
+    jobs:
+        1 = serial in-process map-merge; N > 1 = a process pool of N
+        workers; ``None``/0 = one worker per CPU.
+    backend:
+        Statistics backend name (resolved like
+        :meth:`FdStatistics.compute`).
+
+    Returns statistics ``==`` to a monolithic ``compute`` on the same
+    rows, for every measure, on both backends.
+    """
+    from repro.core.backends import resolve_backend
+
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    jobs = _resolve_jobs(jobs)
+    backend_object = resolve_backend(backend)
+    for attribute in fd.attributes:
+        if attribute not in source.attributes:
+            raise KeyError(
+                f"FD attribute {attribute!r} not in relation schema "
+                f"{list(source.attributes)}"
+            )
+
+    attributes, tables, chunks = _chunk_stream(source, chunk_size)
+    if jobs > 1:
+        merged = _merge_parallel(chunks, fd, backend_object, jobs)
+    else:
+        merged = _merge_serial(chunks, fd, backend_object)
+
+    xy_counts, full_counts = _decode_counts(merged, fd, attributes, tables)
+    return FdStatistics.from_joint_counts(
+        fd,
+        merged.num_rows,
+        xy_counts,
+        full_counts,
+        relation_name=getattr(source, "name", ""),
+    )

@@ -1,0 +1,85 @@
+"""Mergeable partial sufficient statistics.
+
+:class:`~repro.core.statistics.FdStatistics` funnels every backend
+through ``from_joint_counts``, which makes the joint ``(x, y)`` counts —
+together with the restricted row count and the full-tuple counts — a
+*mergeable* intermediate: the counts of a relation are the key-wise sums
+of the counts of any row-partition of it.  :class:`PartialFdCounts` is
+that intermediate made explicit, so the statistics pass can be computed
+chunk-by-chunk (one chunk per slice of the dictionary-encoded code
+arrays, see :meth:`compute_partial` on the backends) and merged — in
+chunk order — into exactly the counts a monolithic scan produces.
+
+**Order contract.**  ``Counter`` insertion order is part of the repo's
+bit-identity discipline (it pins every downstream floating-point
+summation order).  :meth:`merge` therefore preserves *first-occurrence*
+order: keys already present keep their position, new keys are appended
+in the other partial's order.  Merging per-chunk partials in chunk order
+— each chunk's keys in first-occurrence-within-chunk order — yields the
+global first-occurrence order of a single scan, which is why chunked
+map-merge statistics are ``==`` to monolithic ``compute`` on both
+backends.
+
+Keys are *domain-agnostic*: the chunked driver keys partials by tuples
+of dictionary codes (cheap to hash, stable across chunks because the
+encoding is global) and decodes to value tuples once, after the final
+merge; a caller may equally merge value-keyed partials.  Either way the
+keys of one merge must come from one consistent domain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+def merge_counts(target: Counter, other: Counter) -> None:
+    """Key-wise add ``other`` into ``target``, first-occurrence ordered.
+
+    Existing keys keep their insertion position; unseen keys are appended
+    in ``other``'s iteration order.  (Plain dict probes instead of
+    ``Counter.__missing__`` — this runs once per distinct key per chunk.)
+    """
+    for key, count in other.items():
+        previous = target.get(key)
+        target[key] = count if previous is None else previous + count
+
+
+@dataclass
+class PartialFdCounts:
+    """Partial counts of one row-chunk, mergeable across chunks.
+
+    ``num_rows`` counts the chunk's rows surviving the NULL restriction
+    on ``X ∪ Y``; ``xy_counts`` maps ``(x_key, y_key)`` to multiplicity;
+    ``full_tuple_counts`` maps the full-tuple key of each restricted row
+    to its multiplicity.  All three add key-wise under :meth:`merge`.
+    """
+
+    num_rows: int = 0
+    xy_counts: Counter = field(default_factory=Counter)
+    full_tuple_counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def empty(cls) -> "PartialFdCounts":
+        return cls()
+
+    def merge(self, other: "PartialFdCounts") -> "PartialFdCounts":
+        """Fold ``other`` into this partial (in place); returns ``self``.
+
+        Not commutative at the bit level: ``a.merge(b)`` orders keys by
+        first occurrence in ``a`` then ``b`` — merge chunks in chunk
+        order to reproduce a monolithic scan exactly.
+        """
+        self.num_rows += other.num_rows
+        merge_counts(self.xy_counts, other.xy_counts)
+        merge_counts(self.full_tuple_counts, other.full_tuple_counts)
+        return self
+
+    @classmethod
+    def merge_all(cls, partials: Iterable["PartialFdCounts"]) -> "PartialFdCounts":
+        """Merge an iterable of partials (in iteration order)."""
+        merged = cls.empty()
+        for partial in partials:
+            merged.merge(partial)
+        return merged

@@ -51,7 +51,13 @@ class FdStatistics:
     groups: Dict[Tuple, Counter]
     full_tuple_counts: Counter
     relation_name: str = ""
-    _cache: Dict[str, Union[int, float]] = field(default_factory=dict, repr=False)
+    # Excluded from __eq__: which lazy derivations happen to have been
+    # materialised (or pre-seeded by a backend) is not part of a
+    # statistics object's identity — the bit-identity contract already
+    # guarantees seeded values equal what the lazy paths produce.
+    _cache: Dict[str, Union[int, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,6 +68,8 @@ class FdStatistics:
         relation: Relation,
         fd: FunctionalDependency,
         backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        jobs: int = 1,
     ) -> "FdStatistics":
         """Compute statistics of ``fd`` on ``relation`` (NULLs dropped).
 
@@ -70,9 +78,22 @@ class FdStatistics:
         :func:`repro.core.backends.set_default_backend` and the
         ``REPRO_STATS_BACKEND`` environment variable).  Scores derived
         from the result are bit-identical across backends.
+
+        ``chunk_size`` (or ``jobs > 1``) routes through the chunked
+        map-merge driver (:func:`repro.core.chunked.compute_chunked`):
+        per-chunk partial counts over slices of the code arrays, merged
+        in chunk order — bit-identical (``==``) to the monolithic scan,
+        and the only path accepting a
+        :class:`~repro.relation.chunked.ChunkedRelation`.
         """
         from repro.core.backends import resolve_backend
 
+        if chunk_size is not None or jobs != 1 or not isinstance(relation, Relation):
+            from repro.core.chunked import compute_chunked
+
+            return compute_chunked(
+                relation, fd, chunk_size=chunk_size, jobs=jobs, backend=backend
+            )
         return resolve_backend(backend).compute(relation, fd)
 
     @classmethod

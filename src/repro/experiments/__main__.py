@@ -34,6 +34,8 @@ from repro.experiments.discovery import DiscoveryConfig, run_discovery
 from repro.experiments.plotting import PLOT_FORMATS, run_plot
 from repro.experiments.properties import PropertiesConfig, run_properties
 from repro.experiments.runtime import (
+    SMOKE_CHUNK_SIZE,
+    SMOKE_CHUNKED_SIZES,
     SMOKE_REPEATS,
     SMOKE_SIZES,
     RuntimeConfig,
@@ -193,6 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="timed repetitions per (relation, backend) cell (default: 5)",
+    )
+    parser.add_argument(
+        "--runtime-chunked-sizes",
+        default="1000000",
+        help="comma-separated relation sizes of the chunked-scaling section "
+        "of the runtime benchmark; '-' disables it (default: 1000000; pass "
+        "e.g. 1000000,10000000 for the 10M point)",
+    )
+    parser.add_argument(
+        "--runtime-chunk-size",
+        type=int,
+        default=100_000,
+        help="rows per map-merge chunk in the chunked-scaling section "
+        "(default: 100000)",
+    )
+    parser.add_argument(
+        "--runtime-chunked-jobs",
+        default="1,2",
+        help="comma-separated worker counts of the chunked-scaling section "
+        "(default: 1,2; 1 = serial map-merge)",
     )
     parser.add_argument(
         "--streaming-sizes",
@@ -407,11 +429,28 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
     if args.smoke:
         sizes: tuple = SMOKE_SIZES
         repeats = SMOKE_REPEATS
+        chunked_sizes: tuple = SMOKE_CHUNKED_SIZES
+        chunk_size = SMOKE_CHUNK_SIZE
+        chunked_repeats = SMOKE_REPEATS
     else:
         sizes = tuple(
             int(part) for part in args.runtime_sizes.split(",") if part.strip()
         )
         repeats = args.runtime_repeats
+        chunked_sizes = (
+            ()
+            if args.runtime_chunked_sizes.strip() == "-"
+            else tuple(
+                int(part)
+                for part in args.runtime_chunked_sizes.split(",")
+                if part.strip()
+            )
+        )
+        chunk_size = args.runtime_chunk_size
+        chunked_repeats = 3
+    chunked_jobs = tuple(
+        int(part) for part in args.runtime_chunked_jobs.split(",") if part.strip()
+    )
     backends: tuple = ()
     if args.backend is not None and args.backend != "auto":
         backends = (args.backend,)
@@ -422,6 +461,10 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         expectation=args.expectation,
         mc_samples=args.mc_samples,
         sfi_alpha=args.sfi_alpha,
+        chunked_sizes=chunked_sizes,
+        chunk_size=chunk_size,
+        chunked_jobs=chunked_jobs,
+        chunked_repeats=chunked_repeats,
     )
     bench_path = _bench_path(args, "runtime")
     started = time.perf_counter()
@@ -448,6 +491,32 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
             f"largest relation statistics speedup (python/numpy): "
             f"{payload['speedup']:.1f}x"
         )
+    chunked = payload.get("chunked")
+    if chunked is not None:
+        print(
+            f"\nChunked scaling (chunk_size={chunked['chunk_size']}, "  # type: ignore[index]
+            f"statistics pass, bit-identical to monolithic)"
+        )
+        header = f"{'relation':<18} {'backend':<8} {'variant':<14} {'stats ms':>10}"
+        print(header)
+        print("-" * len(header))
+        for entry in chunked["relations"]:  # type: ignore[index]
+            for backend, cell in entry["backends"].items():
+                print(
+                    f"{entry['name']:<18} {backend:<8} {'single-chunk':<14} "
+                    f"{cell['single_chunk_seconds_median'] * 1000:>10.2f}"
+                )
+                for jobs, timing in cell["jobs"].items():
+                    print(
+                        f"{'':<18} {'':<8} {'chunked x' + jobs:<14} "
+                        f"{timing['statistics_seconds_median'] * 1000:>10.2f}"
+                    )
+        if payload.get("chunked_speedup") is not None:
+            best = chunked["largest"]["best"]  # type: ignore[index]
+            print(
+                f"largest chunked relation: chunked jobs>1 over single-chunk "
+                f"{payload['chunked_speedup']:.2f}x ({best['backend']} backend)"
+            )
     if output_dir is not None:
         print(f"artifacts: {output_dir}/runtime/{{summary.json,summary.csv}}")
     if bench_path is not None:

@@ -67,6 +67,14 @@ class RuntimeConfig:
     mc_samples: int = 50
     sfi_alpha: float = 0.5
     measure_seed: int = 0
+    #: Row counts of the chunked-scaling section (empty tuple disables
+    #: it).  Each relation is timed single-chunk (monolithic compute) vs
+    #: chunked map-merge at every ``chunked_jobs`` worker count, per
+    #: backend, with the chunked statistics asserted ``==`` monolithic.
+    chunked_sizes: Tuple[int, ...] = (1_000_000,)
+    chunk_size: int = 100_000
+    chunked_jobs: Tuple[int, ...] = (1, 2)
+    chunked_repeats: int = 3
 
     def resolved_backends(self) -> Tuple[str, ...]:
         chosen = self.backends if self.backends else available_backends()
@@ -92,6 +100,8 @@ class RuntimeConfig:
 #: fewer repeats — same code path, same artifact schema.
 SMOKE_SIZES: Tuple[int, ...] = (500, 2_000)
 SMOKE_REPEATS = 2
+SMOKE_CHUNKED_SIZES: Tuple[int, ...] = (20_000,)
+SMOKE_CHUNK_SIZE = 5_000
 
 
 def fixed_relation_parameters(num_rows: int) -> GenerationParameters:
@@ -167,6 +177,120 @@ def _speedup(baseline: Optional[float], contender: Optional[float]) -> Optional[
     return baseline / contender
 
 
+def _time_chunked_cell(relation, config: RuntimeConfig, backend: str) -> Dict[str, object]:
+    """Single-chunk vs chunked×jobs statistics-pass timings for one backend.
+
+    "Single-chunk" is today's monolithic whole-relation ``compute`` — the
+    baseline the chunked map-merge path is measured against.  Every
+    chunked variant's statistics are asserted ``==`` to the monolithic
+    pass, and the fourteen measure scores are compared exactly, so the
+    recorded speedups are speedups of a *bit-identical* result.
+    """
+    from repro.core.statistics import FdStatistics
+
+    def timed(compute):
+        result = compute()  # warm-up: columnar encode, allocator, pool fork
+        runs: List[float] = []
+        for _ in range(config.chunked_repeats):
+            started = time.perf_counter()
+            result = compute()
+            runs.append(time.perf_counter() - started)
+        return result, runs
+
+    monolithic, single_runs = timed(
+        lambda: FdStatistics.compute(relation, SYNTHETIC_FD, backend=backend)
+    )
+    single_median = median(single_runs)
+    measures = config.measure_config(backend).build()
+    monolithic_scores = {
+        name: measure.score_from_statistics(monolithic)
+        for name, measure in measures.items()
+    }
+    per_jobs: Dict[str, Dict[str, object]] = {}
+    best_parallel: Optional[float] = None
+    for jobs in config.chunked_jobs:
+        chunked, runs = timed(
+            lambda jobs=jobs: FdStatistics.compute(
+                relation,
+                SYNTHETIC_FD,
+                backend=backend,
+                chunk_size=config.chunk_size,
+                jobs=jobs,
+            )
+        )
+        if chunked != monolithic:
+            raise AssertionError(
+                f"chunked statistics (backend={backend}, jobs={jobs}) differ "
+                f"from the monolithic pass on {relation.name}"
+            )
+        chunked_scores = {
+            name: measure.score_from_statistics(chunked)
+            for name, measure in measures.items()
+        }
+        if chunked_scores != monolithic_scores:
+            raise AssertionError(
+                f"chunked scores (backend={backend}, jobs={jobs}) differ "
+                f"from the monolithic pass on {relation.name}"
+            )
+        jobs_median = median(runs)
+        per_jobs[str(jobs)] = {
+            "statistics_seconds_median": jobs_median,
+            "statistics_seconds_runs": runs,
+            "speedup_vs_single_chunk": _speedup(single_median, jobs_median),
+        }
+        if jobs > 1:
+            best_parallel = (
+                jobs_median if best_parallel is None else min(best_parallel, jobs_median)
+            )
+    return {
+        "single_chunk_seconds_median": single_median,
+        "single_chunk_seconds_runs": single_runs,
+        "jobs": per_jobs,
+        "identical": True,
+        "chunked_speedup": _speedup(single_median, best_parallel),
+    }
+
+
+def _run_chunked_section(
+    config: RuntimeConfig, backends: Tuple[str, ...]
+) -> Optional[Dict[str, object]]:
+    """The scaling-curve section of the payload (None when disabled)."""
+    if not config.chunked_sizes:
+        return None
+    entries: List[Dict[str, object]] = []
+    for num_rows in config.chunked_sizes:
+        relation = build_fixed_relation(num_rows, config.seed)
+        per_backend = {
+            name: _time_chunked_cell(relation, config, name) for name in backends
+        }
+        best: Optional[Dict[str, object]] = None
+        for name, cell in per_backend.items():
+            speedup = cell["chunked_speedup"]
+            if speedup is not None and (best is None or speedup > best["speedup"]):  # type: ignore[index,operator]
+                best = {"backend": name, "speedup": speedup}
+        entries.append(
+            {
+                "name": relation.name,
+                "num_rows": relation.num_rows,
+                "parameters": asdict(fixed_relation_parameters(num_rows)),
+                "backends": per_backend,
+                "best": best,
+            }
+        )
+    largest = max(entries, key=lambda entry: entry["num_rows"])
+    return {
+        "chunk_size": config.chunk_size,
+        "jobs": list(config.chunked_jobs),
+        "repeats": config.chunked_repeats,
+        "relations": entries,
+        "largest": {
+            "name": largest["name"],
+            "num_rows": largest["num_rows"],
+            "best": largest["best"],
+        },
+    }
+
+
 def run_runtime(
     config: RuntimeConfig = RuntimeConfig(),
     output_dir: Optional[str] = "results",
@@ -206,6 +330,8 @@ def run_runtime(
             }
         )
     largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
+    chunked = _run_chunked_section(config, backends)
+    chunked_best = None if chunked is None else chunked["largest"]["best"]  # type: ignore[index]
     payload: Dict[str, object] = {
         "experiment": "runtime",
         "config": asdict(config),
@@ -223,6 +349,12 @@ def run_runtime(
         # wall-clock of the shared statistics pass on the largest fixed
         # relation (None when only one backend ran).
         "speedup": None if largest is None else largest["statistics_speedup"],
+        # Scaling curve: single-chunk vs chunked×jobs per backend on the
+        # large fixed relations, all variants asserted bit-identical.
+        "chunked": chunked,
+        # Best chunked-jobs>1-over-single-chunk speedup on the largest
+        # chunked relation (None when the section is disabled).
+        "chunked_speedup": None if chunked_best is None else chunked_best["speedup"],  # type: ignore[index]
     }
     if output_dir is not None:
         _write_artifacts(Path(output_dir) / "runtime", payload)
@@ -261,5 +393,24 @@ def _write_artifacts(directory: Path, payload: Dict[str, object]) -> None:
                         "metric": measure,
                         "median_seconds": seconds,
                     }
+        chunked = payload.get("chunked")
+        if chunked is not None:
+            for entry in chunked["relations"]:  # type: ignore[index]
+                for backend, cell in entry["backends"].items():
+                    yield {
+                        "relation": entry["name"],
+                        "num_rows": entry["num_rows"],
+                        "backend": backend,
+                        "metric": "statistics_single_chunk",
+                        "median_seconds": cell["single_chunk_seconds_median"],
+                    }
+                    for jobs, timing in cell["jobs"].items():
+                        yield {
+                            "relation": entry["name"],
+                            "num_rows": entry["num_rows"],
+                            "backend": backend,
+                            "metric": f"statistics_chunked_jobs{jobs}",
+                            "median_seconds": timing["statistics_seconds_median"],
+                        }
 
     write_csv(directory / "summary.csv", fields, rows())

@@ -8,6 +8,7 @@ list indices) and CSV input/output.
 """
 
 from repro.relation.attribute import canonical_attributes, validate_attributes
+from repro.relation.chunked import ChunkedRelation, CodeChunk
 from repro.relation.fd import FunctionalDependency
 from repro.relation.nulls import NULL, is_null
 from repro.relation.partition import StrippedPartition
@@ -21,6 +22,8 @@ from repro.relation.operations import (
 )
 
 __all__ = [
+    "ChunkedRelation",
+    "CodeChunk",
     "FunctionalDependency",
     "NULL",
     "Relation",

@@ -1,0 +1,330 @@
+"""Out-of-core chunked relations: streamed ingest, encoded chunk storage.
+
+:class:`~repro.relation.relation.Relation` materialises every row as a
+Python tuple — fine at paper scale, ruinous at millions of rows (a 1M-row
+relation costs hundreds of MB of tuple/object overhead before a single
+statistic is computed).  :class:`ChunkedRelation` is the out-of-core
+counterpart: rows are consumed **streamed** (from a CSV reader, a
+generator, or an existing relation), dictionary-encoded incrementally
+with the same extendable value -> code tables the dynamic store grows
+(:mod:`repro.stream.dynamic`), and stored as fixed-size
+:class:`CodeChunk`\\ s of ``int32`` code arrays — 4 bytes per cell plus
+one decode table per attribute, never a full row list.
+
+The chunk iterator feeds the map-merge statistics driver
+(:mod:`repro.core.chunked`) directly: each chunk becomes one
+:class:`~repro.core.partial.PartialFdCounts`, merged in chunk order into
+statistics bit-identical to a monolithic scan.  Because the encoding is
+global (one growing table per attribute, first-occurrence codes), the
+per-chunk counts are keyed by code tuples that mean the same thing in
+every chunk.
+
+Without numpy the chunks fall back to ``array.array("i")`` — same 4-byte
+cells, pure stdlib — so the chunked path works wherever the ``python``
+statistics backend does.
+"""
+
+from __future__ import annotations
+
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.relation.relation import Relation, Row
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: Reserved code for NULL cells (the columnar convention).
+NULL_CODE = -1
+
+#: Default rows per stored chunk: big enough that per-chunk numpy
+#: group-bys amortise, small enough that one chunk's transient Python
+#: objects stay a rounding error next to the relation.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+def assign_code(mapping: Dict[object, int], values: List[object], value: object) -> int:
+    """One step of extendable first-occurrence dictionary encoding.
+
+    The shared idiom of every encoder in the repo (the columnar view, the
+    dynamic store's growing columns, the chunked ingest below): NULL gets
+    the reserved code, known values their existing code, novel values the
+    next dense code — appended to ``values`` so the decode table stays in
+    first-occurrence order.
+    """
+    if value is None:
+        return NULL_CODE
+    code = mapping.get(value)
+    if code is None:
+        code = len(values)
+        mapping[value] = code
+        values.append(value)
+    return code
+
+
+class CodeChunk:
+    """One fixed-size slice of dictionary-encoded rows.
+
+    ``columns[attribute]`` holds the chunk's codes for that attribute —
+    an ``int32`` numpy array, an ``array.array("i")``, or a plain list —
+    with ``-1`` marking NULL.  Chunks are cheap to pickle (raw 4-byte
+    buffers), which is what lets the map-merge driver ship them to
+    worker processes instead of Python row tuples.
+    """
+
+    __slots__ = ("attributes", "columns", "num_rows")
+
+    def __init__(
+        self,
+        attributes: Tuple[str, ...],
+        columns: Dict[str, Sequence[int]],
+        num_rows: int,
+    ):
+        self.attributes = attributes
+        self.columns = columns
+        self.num_rows = num_rows
+
+    def column(self, attribute: str) -> Sequence[int]:
+        """The chunk's code sequence for one attribute."""
+        try:
+            return self.columns[attribute]
+        except KeyError:
+            raise KeyError(
+                f"unknown attribute {attribute!r}; available: {list(self.attributes)}"
+            ) from None
+
+    def column_list(self, attribute: str) -> List[int]:
+        """The codes as a plain list of Python ints (the scalar hot-loop form)."""
+        codes = self.column(attribute)
+        if isinstance(codes, list):
+            return codes
+        return list(codes) if np is None else _as_int_list(codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<CodeChunk: {self.num_rows} rows x {len(self.attributes)} attributes>"
+
+
+def _as_int_list(codes) -> List[int]:
+    tolist = getattr(codes, "tolist", None)
+    return tolist() if tolist is not None else list(codes)
+
+
+class _StreamingColumn:
+    """One attribute's growing value -> code table plus running stats."""
+
+    __slots__ = ("mapping", "values", "null_count")
+
+    def __init__(self):
+        self.mapping: Dict[object, int] = {}
+        self.values: List[object] = []
+        self.null_count = 0
+
+
+def _freeze_codes(codes: List[int]):
+    """Pack a buffered code list into its compact per-chunk storage."""
+    if np is not None:
+        return np.asarray(codes, dtype=np.int32)
+    return array("i", codes)
+
+
+class ChunkedRelation:
+    """A relation stored as dictionary-encoded chunks, never as a row list.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names (duplicates rejected, like
+        :class:`Relation`).
+    rows:
+        Any iterable of row tuples — consumed once, streamed; rows are
+        encoded and discarded chunk by chunk, so peak Python-object
+        memory is O(``chunk_size``) regardless of the total row count.
+    name:
+        Relation name stamped on derived statistics.
+    chunk_size:
+        Rows per stored chunk (and per map-merge work unit).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+        name: str = "",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise ValueError(f"duplicate attribute names in schema {self._attributes}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.name = name
+        self.chunk_size = chunk_size
+        self._columns: List[_StreamingColumn] = [
+            _StreamingColumn() for _ in self._attributes
+        ]
+        self._chunks: List[CodeChunk] = []
+        self._num_rows = 0
+        self._ingest(rows)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> "ChunkedRelation":
+        """Encode an in-memory relation into chunks (rows are streamed)."""
+        return cls(
+            relation.attributes, iter(relation), name=relation.name, chunk_size=chunk_size
+        )
+
+    @classmethod
+    def read_csv(
+        cls,
+        path: Union[str, Path],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        name: Optional[str] = None,
+        max_rows: Optional[int] = None,
+        **csv_options,
+    ) -> "ChunkedRelation":
+        """Stream a CSV file (plain or ``.gz``) into a chunked relation.
+
+        The file is parsed row by row through the same reader as
+        :func:`repro.relation.io.read_csv` (identical NULL markers and
+        type inference — the round-trip test in ``tests/test_chunked.py``
+        pins this), but rows flow straight into the incremental encoder:
+        the full row list never exists.  ``csv_options`` are forwarded to
+        :func:`~repro.relation.io.stream_csv_rows` (``null_markers``,
+        ``infer_types``, ``delimiter``).
+        """
+        from repro.relation.io import stream_csv_rows
+
+        path = Path(path)
+        header, rows = stream_csv_rows(path, max_rows=max_rows, **csv_options)
+        return cls(
+            header, rows, name=name if name is not None else path.stem, chunk_size=chunk_size
+        )
+
+    def _ingest(self, rows: Iterable[Sequence[object]]) -> None:
+        arity = len(self._attributes)
+        chunk_size = self.chunk_size
+        columns = self._columns
+        buffers: List[List[int]] = [[] for _ in self._attributes]
+        buffered = 0
+        for row in rows:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row {tuple(row)!r} has arity {len(row)}, "
+                    f"expected {arity} for schema {self._attributes}"
+                )
+            for column, buffer, value in zip(columns, buffers, row):
+                if value is None:
+                    column.null_count += 1
+                    buffer.append(NULL_CODE)
+                else:
+                    buffer.append(assign_code(column.mapping, column.values, value))
+            buffered += 1
+            if buffered == chunk_size:
+                self._flush(buffers, buffered)
+                buffers = [[] for _ in self._attributes]
+                buffered = 0
+        if buffered:
+            self._flush(buffers, buffered)
+
+    def _flush(self, buffers: List[List[int]], num_rows: int) -> None:
+        self._chunks.append(
+            CodeChunk(
+                self._attributes,
+                {
+                    attribute: _freeze_codes(buffer)
+                    for attribute, buffer in zip(self._attributes, buffers)
+                },
+                num_rows,
+            )
+        )
+        self._num_rows += num_rows
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    def cardinality(self, attribute: str) -> int:
+        """Number of distinct non-NULL values of one attribute."""
+        return len(self._column(attribute).values)
+
+    def null_count(self, attribute: str) -> int:
+        return self._column(attribute).null_count
+
+    def decode_tables(self) -> Dict[str, List[object]]:
+        """Per-attribute code -> value tables (live references; don't mutate)."""
+        return {
+            attribute: column.values
+            for attribute, column in zip(self._attributes, self._columns)
+        }
+
+    def code_bytes(self) -> int:
+        """Bytes held by the stored code arrays (4 per cell)."""
+        total = 0
+        for chunk in self._chunks:
+            for codes in chunk.columns.values():
+                nbytes = getattr(codes, "nbytes", None)
+                total += nbytes if nbytes is not None else len(codes) * codes.itemsize
+        return total
+
+    def _column(self, attribute: str) -> _StreamingColumn:
+        try:
+            return self._columns[self._attributes.index(attribute)]
+        except ValueError:
+            raise KeyError(
+                f"unknown attribute {attribute!r}; available: {list(self._attributes)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Chunk iteration and decoding
+    # ------------------------------------------------------------------
+    def iter_chunks(self) -> Iterator[CodeChunk]:
+        """The stored chunks, in row order (the map-merge input)."""
+        return iter(self._chunks)
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Decode rows chunk by chunk (never more than one chunk live)."""
+        tables = [column.values for column in self._columns]
+        for chunk in self._chunks:
+            columns = [chunk.column_list(attribute) for attribute in self._attributes]
+            for index in range(chunk.num_rows):
+                yield tuple(
+                    tables[position][codes[index]] if codes[index] >= 0 else None
+                    for position, codes in enumerate(columns)
+                )
+
+    def to_relation(self) -> Relation:
+        """Materialise the full :class:`Relation` (tests / small data only).
+
+        This is the one deliberate escape hatch back to row-tuple land —
+        it allocates the O(rows) list the chunked store exists to avoid.
+        """
+        return Relation(self._attributes, self.iter_rows(), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = self.name or "ChunkedRelation"
+        return (
+            f"<{label}: {self._num_rows} rows x {len(self._attributes)} attributes "
+            f"in {len(self._chunks)} chunks>"
+        )

@@ -66,6 +66,15 @@ class ServiceState:
         rows = [tuple(row) for row in payload["rows"]]  # type: ignore[union-attr]
         window = payload.get("window")
         dynamic = bool(payload.get("dynamic", False)) or window is not None
+        chunk_size = payload.get("chunk_size")
+        jobs = payload.get("jobs", 1)
+        chunked = bool(payload.get("chunked", False)) or chunk_size is not None
+        if dynamic and chunked:
+            raise ValueError(
+                "a relation cannot be both dynamic and chunked; dynamic "
+                "sessions scale through incremental trackers"
+            )
+        session_options: Dict[str, object] = {}
         if dynamic:
             from repro.stream.dynamic import DynamicRelation
 
@@ -75,10 +84,24 @@ class ServiceState:
                 name=name,
                 window=None if window is None else int(window),  # type: ignore[arg-type]
             )
+        elif chunked:
+            from repro.relation.chunked import ChunkedRelation
+
+            chunk_options = (
+                {} if chunk_size is None else {"chunk_size": int(chunk_size)}  # type: ignore[arg-type]
+            )
+            relation = ChunkedRelation(attributes, rows, name=name, **chunk_options)  # type: ignore[arg-type]
+            session_options["jobs"] = int(jobs)  # type: ignore[arg-type]
         else:
             relation = Relation(attributes, rows, name=name)  # type: ignore[arg-type]
+            if jobs != 1:
+                session_options["jobs"] = int(jobs)  # type: ignore[arg-type]
         session = AfdSession(
-            relation, backend=self._backend, name=name, **self._measure_options
+            relation,
+            backend=self._backend,
+            name=name,
+            **session_options,
+            **self._measure_options,
         )
         self.register_session(name, session, replace=bool(payload.get("replace", False)))
         return session

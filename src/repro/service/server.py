@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import __version__
 from repro.service.http import MAX_BODY_BYTES, AsyncHttpServer
 from repro.service.model import ServiceError
-from repro.service.ops import RELATION_OPS, ServiceState, execute
+from repro.service.ops import ServiceState, execute
 from repro.service.shard import ShardDispatcher, ShardPool
 
 __all__ = [

@@ -59,6 +59,14 @@ from repro.service.model import (
 
 FdLike = Union[FunctionalDependency, str, Mapping]
 
+#: Static relations above this row count score through the chunked
+#: map-merge path automatically (results are ``==`` either way; chunking
+#: bounds the per-pass working set on huge relations).
+AUTO_CHUNK_THRESHOLD = 250_000
+
+#: Chunk size used by the automatic selection above the threshold.
+AUTO_CHUNK_SIZE = 65_536
+
 
 class AfdSession:
     """A profiling session over one relation with shared artifact caches.
@@ -79,6 +87,18 @@ class AfdSession:
         process default).  Scores are bit-identical either way.
     name:
         Session name (defaults to the relation's name).
+    chunk_size / jobs:
+        Route the statistics pass through the chunked map-merge driver
+        (:func:`repro.core.chunked.compute_chunked`): ``chunk_size`` rows
+        per work unit, ``jobs`` worker processes (1 = serial in-process).
+        Results are bit-identical (``==``) to the monolithic pass.  When
+        neither is given, static relations above
+        :data:`AUTO_CHUNK_THRESHOLD` rows auto-select chunking (serial),
+        so ``/score`` and ``/profile`` on huge relations just work.
+        Sessions over a :class:`~repro.relation.chunked.ChunkedRelation`
+        always score through the chunked path (its stored chunking
+        wins); dynamic sessions scale via incremental trackers instead
+        and reject these knobs.
     """
 
     def __init__(
@@ -87,21 +107,40 @@ class AfdSession:
         measures: Optional[Mapping[str, AfdMeasure]] = None,
         backend: Optional[str] = None,
         name: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        jobs: int = 1,
         **measure_options,
     ):
+        from repro.relation.chunked import ChunkedRelation
         from repro.stream.dynamic import DynamicRelation
 
+        self._chunked: Optional[ChunkedRelation] = None
         if isinstance(relation, DynamicRelation):
             self._dynamic: Optional[DynamicRelation] = relation
             self._static: Optional[Relation] = None
+        elif isinstance(relation, ChunkedRelation):
+            self._dynamic = None
+            self._static = None
+            self._chunked = relation
         elif isinstance(relation, Relation):
             self._dynamic = None
             self._static = relation
         else:
             raise TypeError(
-                f"AfdSession requires a Relation or DynamicRelation, "
-                f"got {type(relation).__name__}"
+                f"AfdSession requires a Relation, ChunkedRelation or "
+                f"DynamicRelation, got {type(relation).__name__}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if self._dynamic is not None and (chunk_size is not None or jobs != 1):
+            raise ValueError(
+                "chunk_size/jobs apply to static or chunked sessions; dynamic "
+                "sessions scale through incremental trackers instead"
+            )
+        self._chunk_size = chunk_size
+        self._jobs = jobs
         self.name = name if name is not None else relation.name
         self._backend = backend
         self._measures: Dict[str, AfdMeasure] = (
@@ -138,16 +177,43 @@ class AfdSession:
         return self._dynamic is not None
 
     @property
+    def is_chunked(self) -> bool:
+        return self._chunked is not None
+
+    @property
     def dynamic(self):
         """The underlying :class:`DynamicRelation`, or ``None``."""
         return self._dynamic
 
     @property
+    def chunked(self):
+        """The underlying :class:`ChunkedRelation`, or ``None``."""
+        return self._chunked
+
+    @property
     def relation(self) -> Relation:
-        """The current relation (the live snapshot on dynamic sessions)."""
+        """The current relation (the live snapshot on dynamic sessions).
+
+        Chunked sessions have no materialised row list by design; use
+        :attr:`chunked` (or ``chunked.to_relation()`` on small data).
+        """
         if self._dynamic is not None:
             return self._dynamic.snapshot()
+        if self._chunked is not None:
+            raise ValueError(
+                "a chunked session never materialises its row list; use "
+                ".chunked for the ChunkedRelation (or .chunked.to_relation() "
+                "explicitly on data small enough to hold in memory)"
+            )
         return self._static  # type: ignore[return-value]
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        if self._dynamic is not None:
+            return tuple(self._dynamic.attributes)
+        if self._chunked is not None:
+            return self._chunked.attributes
+        return tuple(self._static.attributes)  # type: ignore[union-attr]
 
     @property
     def epoch(self) -> int:
@@ -166,6 +232,8 @@ class AfdSession:
     def num_rows(self) -> int:
         if self._dynamic is not None:
             return self._dynamic.num_rows
+        if self._chunked is not None:
+            return self._chunked.num_rows
         return self._static.num_rows  # type: ignore[union-attr]
 
     def tracked_fds(self) -> List[FunctionalDependency]:
@@ -191,12 +259,20 @@ class AfdSession:
     def describe(self) -> Dict[str, object]:
         """A JSON-ready summary of the session (the server's listing row)."""
         with self._lock:
-            relation = self.relation
             return {
                 "name": self.name,
-                "attributes": list(relation.attributes),
-                "num_rows": relation.num_rows,
+                "attributes": list(self.attributes),
+                "num_rows": self.num_rows,
                 "dynamic": self.is_dynamic,
+                "chunked": self.is_chunked,
+                # A ChunkedRelation's stored chunking wins (the driver
+                # ignores the knob for it), so report what actually runs.
+                "chunk_size": (
+                    self._chunked.chunk_size
+                    if self._chunked is not None
+                    else self._chunk_size
+                ),
+                "jobs": self._jobs,
                 "epoch": self._epoch,
                 "backend": self._backend,
                 "measures": list(self._measures),
@@ -258,10 +334,39 @@ class AfdSession:
                 )
         else:
             self._counters["statistics_misses"] += 1
-            statistics = FdStatistics.compute(self._static, fd, backend=self._backend)
+            statistics = self._compute_statistics(fd)
         seconds = time.perf_counter() - started
         self._statistics[fd] = statistics
         return statistics, seconds, False
+
+    def _compute_statistics(self, fd: FunctionalDependency) -> FdStatistics:
+        """One fresh statistics pass on a static or chunked session.
+
+        Chunked sessions always route through the map-merge driver;
+        static sessions do when the knobs ask for it — or automatically
+        above :data:`AUTO_CHUNK_THRESHOLD` rows.  Either way the result
+        is ``==`` to the monolithic pass.
+        """
+        if self._chunked is not None:
+            return FdStatistics.compute(
+                self._chunked,
+                fd,
+                backend=self._backend,
+                chunk_size=self._chunk_size,
+                jobs=self._jobs,
+            )
+        chunk_size = self._chunk_size
+        if chunk_size is None and self._jobs == 1:
+            if self._static.num_rows <= AUTO_CHUNK_THRESHOLD:  # type: ignore[union-attr]
+                return FdStatistics.compute(self._static, fd, backend=self._backend)
+            chunk_size = AUTO_CHUNK_SIZE
+        return FdStatistics.compute(
+            self._static,
+            fd,
+            backend=self._backend,
+            chunk_size=chunk_size,
+            jobs=self._jobs,
+        )
 
     def _select(self, names: Optional[Sequence[str]]) -> Dict[str, AfdMeasure]:
         if names is None:
@@ -398,6 +503,13 @@ class AfdSession:
         from repro.discovery.cover import minimal_cover as reduce_cover
         from repro.discovery.lattice import lattice_discover
 
+        if self._chunked is not None:
+            raise ValueError(
+                "discover() needs partition intersections over an in-memory "
+                "relation; chunked sessions support score()/profile()/"
+                "score_many() only (materialise small data explicitly via "
+                ".chunked.to_relation() to discover on it)"
+            )
         with self._lock:
             chosen = self._select(measures)
 

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.relation.chunked import assign_code
 from repro.relation.relation import Relation, Row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -100,15 +101,7 @@ class _DynamicColumn:
             grown = np.empty(max(self.codes.shape[0] * 2, _INITIAL_CAPACITY), dtype=np.int32)
             grown[: self.length] = self.codes[: self.length]
             self.codes = grown
-        if value is None:
-            code = -1
-        else:
-            code = self.mapping.get(value)
-            if code is None:
-                code = len(self.values)
-                self.mapping[value] = code
-                self.values.append(value)
-        self.codes[self.length] = code
+        self.codes[self.length] = assign_code(self.mapping, self.values, value)
         self.length += 1
 
     @property
