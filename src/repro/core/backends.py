@@ -47,9 +47,9 @@ from __future__ import annotations
 
 import os
 from collections import Counter
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.partial import PartialFdCounts
+from repro.core.partial import ArrayFdCounts, PartialFdCounts
 from repro.core.statistics import FdStatistics
 from repro.relation.chunked import CodeChunk
 from repro.relation.columnar import _PACK_LIMIT, _dense_first_occurrence
@@ -272,6 +272,85 @@ class NumpyBackend:
         for group, count in enumerate(w_group_counts.tolist()):
             full_counts[tuple(column[group] for column in w_keys)] = count
         return partial
+
+    def compute_partial_array(
+        self, chunk: CodeChunk, fd: FunctionalDependency, radices: Dict[str, int]
+    ) -> ArrayFdCounts:
+        """Array-keyed partial counts of one chunk — no Python tuples.
+
+        ``radices`` is the *global* mixed-radix scheme of the whole
+        relation (radix per attribute = decode-table cardinality + 1,
+        codes shifted by +1 so ``-1``-NULL packs as 0), so the emitted
+        packed keys mean the same code tuple in every chunk and unpack
+        by ``divmod`` after the merge.  The key arrays are in
+        first-occurrence-within-chunk order — decoding the merged
+        arrays reproduces :meth:`compute_partial`'s ``Counter`` order
+        exactly.  The caller guarantees the radix products fit the
+        packing limit (see ``repro.core.chunked._array_pack_plan``).
+        """
+        num_rows, xy_raw, w_raw = self.pack_partial_keys(chunk, fd, radices)
+        return ArrayFdCounts.from_raw_keys(num_rows, xy_raw, w_raw)
+
+    def pack_partial_keys(
+        self, chunk: CodeChunk, fd: FunctionalDependency, radices: Dict[str, int]
+    ) -> Tuple[int, "np.ndarray", Optional["np.ndarray"]]:
+        """NULL-restrict and pack one chunk to raw per-row key arrays.
+
+        Returns ``(num_rows, xy_raw, w_raw)``: the chunk's restricted
+        row count and one packed key per restricted row (row order) for
+        the ``(X, Y)`` projection and the full tuple.  ``w_raw is None``
+        when the FD covers the schema (the full tuple *is* the packed
+        ``(x, y)``).  Packing is O(rows) with no grouping — the chunked
+        driver concatenates raw keys across a band of chunks and pays
+        :meth:`ArrayFdCounts.from_raw_keys`'s sort once per band.
+        """
+        if np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("pack_partial_keys requires numpy")
+        covering = _fd_covers_schema(chunk.attributes, fd)
+        empty = np.empty(0, dtype=np.int64)
+        if chunk.num_rows == 0:
+            return 0, empty, None if covering else empty
+        arrays = {a: np.asarray(chunk.column(a)) for a in chunk.attributes}
+
+        mask = None
+        for attribute in fd.attributes:
+            column_mask = arrays[attribute] >= 0
+            if not column_mask.all():
+                mask = column_mask if mask is None else mask & column_mask
+        if mask is not None:
+            arrays = {a: codes[mask] for a, codes in arrays.items()}
+        num_rows = int(arrays[fd.rhs[0]].shape[0])
+        if num_rows == 0:
+            return 0, empty, None if covering else empty
+
+        fd_attributes = fd.lhs + fd.rhs
+        xy_raw = _pack_with_radices(
+            [arrays[a] for a in fd_attributes], [radices[a] for a in fd_attributes]
+        )
+        if covering:
+            return num_rows, xy_raw, None
+        w_raw = _pack_with_radices(
+            [arrays[a] for a in chunk.attributes],
+            [radices[a] for a in chunk.attributes],
+        )
+        return num_rows, xy_raw, w_raw
+
+
+def _pack_with_radices(
+    arrays: List["np.ndarray"], radices: List[int]
+) -> "np.ndarray":
+    """Mixed-radix packing under a fixed global radix per position.
+
+    Unlike :func:`_pack_arrays` (per-chunk observed radices, re-densify
+    on overflow) the scheme here is cross-chunk stable and invertible:
+    the caller has already proven ``prod(radices)`` fits the packing
+    limit, and :func:`repro.core.partial.unpack_key_columns` recovers
+    the original code arrays by ``divmod``.
+    """
+    accumulator = arrays[0].astype(np.int64) + 1
+    for codes, radix in zip(arrays[1:], radices[1:]):
+        accumulator = accumulator * radix + (codes.astype(np.int64) + 1)
+    return accumulator
 
 
 def _pack_arrays(arrays: List["np.ndarray"]) -> "np.ndarray":

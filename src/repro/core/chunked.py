@@ -2,14 +2,26 @@
 
 The driver behind ``FdStatistics.compute(..., chunk_size=, jobs=)``:
 split the relation into row chunks of dictionary codes, have the active
-backend compute one code-keyed :class:`~repro.core.partial.PartialFdCounts`
-per chunk (``compute_partial``), merge the partials **in chunk order**
-(which reproduces the global first-occurrence ``Counter`` order of a
-monolithic scan, see :mod:`repro.core.partial`), decode the merged
-code-tuple keys to value tuples once, and funnel through
+backend compute one partial per chunk, merge the partials **in chunk
+order** (which reproduces the global first-occurrence ``Counter`` order
+of a monolithic scan, see :mod:`repro.core.partial`), decode the merged
+keys to value tuples once, and funnel through
 ``FdStatistics.from_joint_counts`` — the same constructor the monolithic
 backends use, so the resulting statistics and every measure scored from
 them are bit-identical (``==``) to ``compute`` without chunking.
+
+Two partial representations share that contract:
+
+* **array partials** (numpy backend) — each chunk yields an
+  :class:`~repro.core.partial.ArrayFdCounts` of globally packed
+  ``int64`` key arrays (:meth:`compute_partial_array`); the merge is
+  ``np.concatenate`` + one stable first-seen ``np.unique`` pass and the
+  only Python-tuple work left is the single O(distinct) decode after
+  the final merge.  Selected automatically whenever the numpy backend
+  runs and the global radix products fit the packing limit;
+* **tuple partials** (python backend, and the fallback when packing
+  would overflow) — code-tuple-keyed ``Counter`` partials merged by
+  dict probes (:meth:`compute_partial`).
 
 Chunk sources, in preference order:
 
@@ -20,26 +32,36 @@ Chunk sources, in preference order:
 * a plain :class:`Relation` without numpy — re-encoded through the
   streaming ingest (``array.array`` codes), the pure-python compat path.
 
-``jobs > 1`` distributes chunks over a ``ProcessPoolExecutor`` with the
-repo's established discipline: picklable work units (compact code
-buffers, not row tuples), a module-level worker, bounded in-flight
-submissions, and a strictly chunk-ordered merge of results regardless of
-completion order — so parallel results are bit-identical to serial.
+``jobs > 1`` distributes chunks over a **shared, module-level**
+``ProcessPoolExecutor`` (spawned once, reused across FDs and sessions —
+:func:`pool_info` exposes the spawn/reuse counters) with the repo's
+established discipline: picklable work units (compact code buffers or
+packed key arrays, not row tuples), module-level workers, bounded
+in-flight submissions, and a strictly chunk-ordered merge of results
+regardless of completion order — so parallel results are bit-identical
+to serial.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.partial import PartialFdCounts
+from repro.core.partial import ArrayFdCounts, PartialFdCounts, unpack_key_columns
 from repro.core.statistics import FdStatistics
 from repro.relation.chunked import ChunkedRelation, CodeChunk
 from repro.relation.fd import FunctionalDependency
 from repro.relation.relation import Relation
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 #: Default rows per map-merge work unit when ``chunk_size`` is not given.
 DEFAULT_CHUNK_SIZE = 65_536
@@ -51,9 +73,15 @@ _INFLIGHT_SLACK = 2
 #: Consecutive chunks pre-merged inside one worker task.  Within a band
 #: the keys of neighbouring chunks largely overlap, so shipping one
 #: band-merged partial back costs a fraction of shipping each chunk's
-#: counters individually; bands are contiguous and merged in band order,
+#: counts individually; bands are contiguous and merged in band order,
 #: so the final key order is untouched.
 _BAND_CHUNKS = 4
+
+#: Buffered distinct keys that trigger an intermediate collapse of the
+#: pending array partials: bounds merge memory on very long chunk
+#: streams (10M+ rows) without changing the final first-occurrence
+#: order (collapsing a prefix then merging the rest is associative).
+_COLLAPSE_KEYS = 4_000_000
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -69,6 +97,63 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# ----------------------------------------------------------------------
+# Shared worker pool
+# ----------------------------------------------------------------------
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_SPAWNS = 0
+_POOL_REUSES = 0
+
+
+def _shared_pool(jobs: int) -> ProcessPoolExecutor:
+    """The module-level worker pool, (re)spawned only when it must grow.
+
+    Every ``compute(..., jobs=N)`` call used to pay a full pool spawn;
+    sharing one executor across FDs and sessions amortises worker
+    start-up to once per process (the in-flight limit, not the pool
+    width, bounds a call's effective parallelism).  Correctness is
+    unaffected: tasks are pure functions of their payload and results
+    merge in chunk order regardless of which worker answered.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_SPAWNS, _POOL_REUSES
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS < jobs:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ProcessPoolExecutor(max_workers=jobs)
+            _POOL_WORKERS = jobs
+            _POOL_SPAWNS += 1
+        else:
+            _POOL_REUSES += 1
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut down the shared worker pool (tests, explicit teardown)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+def pool_info() -> Dict[str, object]:
+    """Spawn/reuse counters of the shared pool (``AfdSession.describe``)."""
+    with _POOL_LOCK:
+        return {
+            "active": _POOL is not None,
+            "workers": _POOL_WORKERS,
+            "spawns": _POOL_SPAWNS,
+            "reuses": _POOL_REUSES,
+        }
+
+
+# ----------------------------------------------------------------------
+# Chunk sources
+# ----------------------------------------------------------------------
 def _chunk_stream(
     source, chunk_size: int
 ) -> Tuple[Tuple[str, ...], Dict[str, List[object]], Iterable[CodeChunk]]:
@@ -104,10 +189,64 @@ def _chunk_stream(
     return attributes, tables, chunks()
 
 
+# ----------------------------------------------------------------------
+# Array-partial planning
+# ----------------------------------------------------------------------
+def _array_pack_plan(
+    attributes: Tuple[str, ...],
+    fd: FunctionalDependency,
+    tables: Dict[str, List[object]],
+) -> Optional[Dict[str, int]]:
+    """Global radices for the array-partial pack, or ``None`` if unsafe.
+
+    Radix per attribute = decode-table cardinality + 1 (the +1 shift
+    reserves 0 for NULL).  ``None`` — meaning: fall back to tuple
+    partials — when numpy is absent or a needed radix product would
+    exceed the ``int64`` packing limit (the full-tuple product is only
+    needed when the FD does not cover the schema).
+    """
+    from repro.core.backends import _fd_covers_schema
+    from repro.relation.columnar import _PACK_LIMIT
+
+    if np is None:
+        return None
+    radices = {a: len(tables[a]) + 1 for a in attributes}
+    product = 1
+    for attribute in fd.lhs + fd.rhs:
+        product *= radices[attribute]
+        if product > _PACK_LIMIT:
+            return None
+    if not _fd_covers_schema(attributes, fd):
+        product = 1
+        for attribute in attributes:
+            product *= radices[attribute]
+            if product > _PACK_LIMIT:
+                return None
+    return radices
+
+
+def uses_array_partials(source, fd: FunctionalDependency, backend: Optional[str] = None) -> bool:
+    """True when :func:`compute_chunked` would take the array-merge path.
+
+    False — the tuple-partial path, bit-identical but slower — when the
+    resolved backend is not numpy (including the automatic no-numpy
+    degrade) or the relation's cardinalities would overflow the pack.
+    """
+    from repro.core.backends import resolve_backend
+
+    if np is None or resolve_backend(backend).name != "numpy":
+        return False
+    attributes, tables, _ = _chunk_stream(source, DEFAULT_CHUNK_SIZE)
+    return _array_pack_plan(attributes, fd, tables) is not None
+
+
+# ----------------------------------------------------------------------
+# Workers
+# ----------------------------------------------------------------------
 def _partial_task(
-    task: Tuple[int, str, FunctionalDependency, List[CodeChunk]],
+    task: Tuple[int, List[CodeChunk], str, FunctionalDependency],
 ) -> Tuple[int, PartialFdCounts]:
-    """Worker: partial counts of one band of consecutive chunks.
+    """Worker: tuple-keyed partial counts of one band of chunks.
 
     Module-level (picklable under every start method); the band is
     merged in chunk order inside the worker, so the parent only has to
@@ -115,12 +254,63 @@ def _partial_task(
     """
     from repro.core.backends import resolve_backend
 
-    index, backend_name, fd, chunks = task
+    index, chunks, backend_name, fd = task
     backend = resolve_backend(backend_name)
     merged = PartialFdCounts.empty()
     for chunk in chunks:
         merged.merge(backend.compute_partial(chunk, fd))
     return index, merged
+
+
+def _band_array_partial(
+    band: List[CodeChunk], fd, backend, radices: Dict[str, int]
+) -> ArrayFdCounts:
+    """One compressed array partial for a whole band of chunks.
+
+    Each chunk is packed to raw per-row keys (O(rows), no grouping);
+    the band's raw arrays concatenate in chunk order — which is row
+    order — and compress with a single first-occurrence grouping.
+    Identical to merging per-chunk partials in chunk order, but the
+    sort is paid once per band instead of once per chunk, which is what
+    keeps the serial array path within ~10% of the monolithic scan.
+    """
+    num_rows = 0
+    xy_parts: List["np.ndarray"] = []
+    w_parts: List["np.ndarray"] = []
+    covering = True
+    for chunk in band:
+        chunk_rows, xy_raw, w_raw = backend.pack_partial_keys(chunk, fd, radices)
+        if chunk_rows == 0:
+            continue
+        num_rows += chunk_rows
+        xy_parts.append(xy_raw)
+        if w_raw is not None:
+            covering = False
+            w_parts.append(w_raw)
+    if num_rows == 0:
+        return ArrayFdCounts.empty()
+    xy_all = xy_parts[0] if len(xy_parts) == 1 else np.concatenate(xy_parts)
+    if covering:
+        return ArrayFdCounts.from_raw_keys(num_rows, xy_all, None)
+    w_all = w_parts[0] if len(w_parts) == 1 else np.concatenate(w_parts)
+    return ArrayFdCounts.from_raw_keys(num_rows, xy_all, w_all)
+
+
+def _array_partial_task(
+    task: Tuple[int, List[CodeChunk], str, FunctionalDependency, Dict[str, int]],
+) -> Tuple[int, ArrayFdCounts]:
+    """Worker: array-keyed partial counts of one band of chunks.
+
+    The band compresses vectorised in-worker (one grouping over its raw
+    packed keys); the returned partial pickles as compact ``int64``
+    buffers (keys + counts), a fraction of the tuple-counter pickle for
+    the same chunks.
+    """
+    from repro.core.backends import resolve_backend
+
+    index, chunks, backend_name, fd, radices = task
+    backend = resolve_backend(backend_name)
+    return index, _band_array_partial(chunks, fd, backend, radices)
 
 
 def _bands(chunks: Iterable[CodeChunk], band_size: int) -> Iterator[List[CodeChunk]]:
@@ -134,6 +324,94 @@ def _bands(chunks: Iterable[CodeChunk], band_size: int) -> Iterator[List[CodeChu
         yield band
 
 
+# ----------------------------------------------------------------------
+# Merge drivers
+# ----------------------------------------------------------------------
+class _ArrayMergeAccumulator:
+    """Ordered array-partial buffer with bounded-memory collapses.
+
+    Partials are appended in chunk order and merged in one vectorised
+    pass at the end; when the buffered distinct-key total crosses
+    :data:`_COLLAPSE_KEYS` the pending list is collapsed early — the
+    collapsed prefix keeps its position, so the final order (and hence
+    the decoded ``Counter`` order) is unchanged.
+    """
+
+    def __init__(self):
+        self._pending: List[ArrayFdCounts] = []
+        self._buffered = 0
+
+    @staticmethod
+    def _keys(partial: ArrayFdCounts) -> int:
+        keys = int(partial.xy_keys.shape[0])
+        if not partial.covering:
+            keys += int(partial.w_keys.shape[0])
+        return keys
+
+    def add(self, partial: ArrayFdCounts) -> None:
+        self._pending.append(partial)
+        self._buffered += self._keys(partial)
+        if self._buffered > _COLLAPSE_KEYS and len(self._pending) > 1:
+            collapsed = ArrayFdCounts.merge_all(self._pending)
+            self._pending = [collapsed]
+            self._buffered = self._keys(collapsed)
+
+    def result(self) -> ArrayFdCounts:
+        return ArrayFdCounts.merge_all(self._pending)
+
+
+def _map_parallel(
+    chunks: Iterable[CodeChunk],
+    jobs: int,
+    task_function: Callable,
+    task_args: Tuple,
+    fold: Callable,
+) -> None:
+    """Map bands over the shared pool, fold results in band order.
+
+    Submission is bounded (``jobs + slack`` bands in flight) so a long
+    chunk stream never pickles itself into memory all at once; completed
+    partials are buffered by index and folded in strictly ascending
+    band order, preserving the serial merge's key order bit-for-bit.
+    """
+    pending_results: Dict[int, object] = {}
+    next_to_fold = 0
+
+    def drain() -> None:
+        nonlocal next_to_fold
+        while next_to_fold in pending_results:
+            fold(pending_results.pop(next_to_fold))
+            next_to_fold += 1
+
+    iterator = enumerate(_bands(chunks, _BAND_CHUNKS))
+    limit = jobs + _INFLIGHT_SLACK
+    pool = _shared_pool(jobs)
+    in_flight = set()
+    exhausted = False
+    try:
+        while not exhausted or in_flight:
+            while not exhausted and len(in_flight) < limit:
+                try:
+                    index, band = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                in_flight.add(pool.submit(task_function, (index, band) + task_args))
+            if not in_flight:
+                break
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, partial = future.result()
+                pending_results[index] = partial
+            drain()
+    except BrokenProcessPool:
+        # A dead worker poisons the executor; drop it so the next call
+        # spawns a fresh one instead of failing forever.
+        shutdown_pool()
+        raise
+    drain()
+
+
 def _merge_serial(chunks, fd, backend) -> PartialFdCounts:
     merged = PartialFdCounts.empty()
     for chunk in chunks:
@@ -142,47 +420,31 @@ def _merge_serial(chunks, fd, backend) -> PartialFdCounts:
 
 
 def _merge_parallel(chunks, fd, backend, jobs: int) -> PartialFdCounts:
-    """Map chunks over a process pool, merge results in chunk order.
-
-    Submission is bounded (``jobs + slack`` chunks in flight) so a long
-    chunk stream never pickles itself into memory all at once; completed
-    partials are buffered by index and folded in strictly ascending
-    chunk order, preserving the serial merge's key order bit-for-bit.
-    """
     merged = PartialFdCounts.empty()
-    pending_results: Dict[int, PartialFdCounts] = {}
-    next_to_merge = 0
-
-    def drain() -> None:
-        nonlocal next_to_merge
-        while next_to_merge in pending_results:
-            merged.merge(pending_results.pop(next_to_merge))
-            next_to_merge += 1
-
-    iterator = enumerate(_bands(chunks, _BAND_CHUNKS))
-    limit = jobs + _INFLIGHT_SLACK
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        in_flight = set()
-        exhausted = False
-        while not exhausted or in_flight:
-            while not exhausted and len(in_flight) < limit:
-                try:
-                    index, band = next(iterator)
-                except StopIteration:
-                    exhausted = True
-                    break
-                in_flight.add(pool.submit(_partial_task, (index, backend.name, fd, band)))
-            if not in_flight:
-                break
-            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in done:
-                index, partial = future.result()
-                pending_results[index] = partial
-            drain()
-    drain()
+    _map_parallel(chunks, jobs, _partial_task, (backend.name, fd), merged.merge)
     return merged
 
 
+def _merge_serial_array(chunks, fd, backend, radices: Dict[str, int]) -> ArrayFdCounts:
+    accumulator = _ArrayMergeAccumulator()
+    for band in _bands(chunks, _BAND_CHUNKS):
+        accumulator.add(_band_array_partial(band, fd, backend, radices))
+    return accumulator.result()
+
+
+def _merge_parallel_array(
+    chunks, fd, backend, jobs: int, radices: Dict[str, int]
+) -> ArrayFdCounts:
+    accumulator = _ArrayMergeAccumulator()
+    _map_parallel(
+        chunks, jobs, _array_partial_task, (backend.name, fd, radices), accumulator.add
+    )
+    return accumulator.result()
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
 def _decode_counts(
     merged: PartialFdCounts,
     fd: FunctionalDependency,
@@ -218,12 +480,115 @@ def _decode_counts(
     return xy_counts, full_counts
 
 
+def _decode_array_counts(
+    merged: ArrayFdCounts,
+    fd: FunctionalDependency,
+    attributes: Tuple[str, ...],
+    tables: Dict[str, List[object]],
+    radices: Dict[str, int],
+) -> Tuple[Counter, Counter]:
+    """Unpack and decode the merged key arrays, preserving order.
+
+    The single place the array path touches Python tuples: one divmod
+    unpack plus one O(distinct) loop per counter — the same order-
+    preserving, injective decode as :func:`_decode_counts`.
+    """
+    fd_attributes = fd.lhs + fd.rhs
+    columns = unpack_key_columns(
+        merged.xy_keys, [radices[a] for a in fd_attributes]
+    )
+    lhs_tables = [tables[a] for a in fd.lhs]
+    rhs_tables = [tables[a] for a in fd.rhs]
+    split = len(fd.lhs)
+    counts = merged.xy_counts.tolist()
+    xy_counts: Counter = Counter()
+    if split == 1 and len(fd.rhs) == 1:
+        x_table, y_table = lhs_tables[0], rhs_tables[0]
+        for x_code, y_code, count in zip(columns[0].tolist(), columns[1].tolist(), counts):
+            xy_counts[((x_table[x_code],), (y_table[y_code],))] = count
+    else:
+        lhs_codes = [column.tolist() for column in columns[:split]]
+        rhs_codes = [column.tolist() for column in columns[split:]]
+        for group, count in enumerate(counts):
+            xy_counts[
+                (
+                    tuple(table[codes[group]] for table, codes in zip(lhs_tables, lhs_codes)),
+                    tuple(table[codes[group]] for table, codes in zip(rhs_tables, rhs_codes)),
+                )
+            ] = count
+
+    full_counts: Counter = Counter()
+    if merged.covering:
+        # Same re-key as the per-chunk covering fast path: identical
+        # counts in identical first-occurrence order.
+        for (x_key, y_key), count in xy_counts.items():
+            full_counts[x_key + y_key] = count
+        return xy_counts, full_counts
+    all_tables = [tables[a] for a in attributes]
+    w_columns = [
+        column.tolist()
+        for column in unpack_key_columns(merged.w_keys, [radices[a] for a in attributes])
+    ]
+    for row in zip(*w_columns, merged.w_counts.tolist()):
+        full_counts[
+            tuple(
+                table[code] if code >= 0 else None
+                for table, code in zip(all_tables, row)
+            )
+        ] = row[-1]
+    return xy_counts, full_counts
+
+
+def _seed_from_array_merge(
+    statistics: FdStatistics,
+    merged: ArrayFdCounts,
+    fd: FunctionalDependency,
+    radices: Dict[str, int],
+) -> None:
+    """Pre-seed the vectorisable statistics from the merged arrays.
+
+    The chunked analogue of the monolithic numpy backend's cache
+    seeding: the parent X/Y group counts fall out of the packed keys by
+    divmod (first-occurrence order is preserved — an X value's first
+    ``(X, Y)`` group is its first restricted row), so the seeded values
+    are bit-identical to the monolithic pass's.
+    """
+    from repro.core.backends import _seed_vectorised_statistics
+    from repro.relation.columnar import _dense_first_occurrence
+
+    if merged.xy_keys.shape[0] == 0:
+        return
+    rhs_product = 1
+    for attribute in fd.rhs:
+        rhs_product *= radices[attribute]
+    xy_counts = merged.xy_counts
+    x_of_xy, _, _ = _dense_first_occurrence(merged.xy_keys // rhs_product)
+    y_of_xy, _, _ = _dense_first_occurrence(merged.xy_keys % rhs_product)
+    x_counts = np.zeros(int(x_of_xy.max()) + 1, dtype=np.int64)
+    np.add.at(x_counts, x_of_xy, xy_counts)
+    y_counts = np.zeros(int(y_of_xy.max()) + 1, dtype=np.int64)
+    np.add.at(y_counts, y_of_xy, xy_counts)
+    _seed_vectorised_statistics(
+        statistics,
+        merged.num_rows,
+        x_counts=x_counts,
+        y_counts=y_counts,
+        xy_counts=xy_counts,
+        x_of_xy=x_of_xy,
+        w_counts=merged.w_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
 def compute_chunked(
     source,
     fd: FunctionalDependency,
     chunk_size: Optional[int] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    array_partials: Optional[bool] = None,
 ) -> FdStatistics:
     """Compute ``FdStatistics`` by chunked map-merge.
 
@@ -237,14 +602,21 @@ def compute_chunked(
         Rows per work unit (default :data:`DEFAULT_CHUNK_SIZE`); ignored
         for a :class:`ChunkedRelation`, whose stored chunking is used.
     jobs:
-        1 = serial in-process map-merge; N > 1 = a process pool of N
-        workers; ``None``/0 = one worker per CPU.
+        1 = serial in-process map-merge; N > 1 = N workers of the shared
+        process pool; ``None``/0 = one worker per CPU.
     backend:
         Statistics backend name (resolved like
         :meth:`FdStatistics.compute`).
+    array_partials:
+        ``None`` (default) auto-selects the vectorised array-partial
+        merge whenever the numpy backend runs and the relation's
+        cardinalities fit the packing limit; ``False`` forces the
+        tuple-partial path (results are ``==`` either way); ``True``
+        asserts the array path is available and raises when it is not.
 
     Returns statistics ``==`` to a monolithic ``compute`` on the same
-    rows, for every measure, on both backends.
+    rows, for every measure, on both backends and both partial
+    representations.
     """
     from repro.core.backends import resolve_backend
 
@@ -262,6 +634,34 @@ def compute_chunked(
             )
 
     attributes, tables, chunks = _chunk_stream(source, chunk_size)
+    plan = None
+    if array_partials is not False and backend_object.name == "numpy":
+        plan = _array_pack_plan(attributes, fd, tables)
+    if array_partials is True and plan is None:
+        raise ValueError(
+            "array partials need the numpy backend and pack-safe radix "
+            f"products; unavailable for backend {backend_object.name!r} "
+            f"on {getattr(source, 'name', '') or 'this relation'}"
+        )
+    relation_name = getattr(source, "name", "")
+    if plan is not None:
+        if jobs > 1:
+            merged_arrays = _merge_parallel_array(chunks, fd, backend_object, jobs, plan)
+        else:
+            merged_arrays = _merge_serial_array(chunks, fd, backend_object, plan)
+        xy_counts, full_counts = _decode_array_counts(
+            merged_arrays, fd, attributes, tables, plan
+        )
+        statistics = FdStatistics.from_joint_counts(
+            fd,
+            merged_arrays.num_rows,
+            xy_counts,
+            full_counts,
+            relation_name=relation_name,
+        )
+        _seed_from_array_merge(statistics, merged_arrays, fd, plan)
+        return statistics
+
     if jobs > 1:
         merged = _merge_parallel(chunks, fd, backend_object, jobs)
     else:
@@ -273,5 +673,5 @@ def compute_chunked(
         merged.num_rows,
         xy_counts,
         full_counts,
-        relation_name=getattr(source, "name", ""),
+        relation_name=relation_name,
     )

@@ -25,13 +25,32 @@ of dictionary codes (cheap to hash, stable across chunks because the
 encoding is global) and decodes to value tuples once, after the final
 merge; a caller may equally merge value-keyed partials.  Either way the
 keys of one merge must come from one consistent domain.
+
+:class:`ArrayFdCounts` is the vectorised sibling: the same mergeable
+counts, but keyed by *packed* ``int64`` scalars held in numpy arrays
+instead of Python tuples held in ``Counter``\\ s.  Packing uses one
+global mixed-radix scheme (radix per attribute = cardinality + 1, codes
+shifted by +1 so ``-1``-NULL packs as 0), so a packed key means the same
+code tuple in every chunk and is invertible by ``divmod`` — the whole
+merge is ``np.concatenate`` + one stable first-seen ``np.unique`` pass,
+no per-group Python work until the single post-merge decode.  The order
+contract carries over verbatim: each partial's key array is in
+first-occurrence-within-chunk order, and :meth:`ArrayFdCounts.merge_all`
+keeps the first occurrence across the concatenation, so the decoded
+``Counter`` order equals the tuple path's (and hence the monolithic
+scan's) exactly.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 
 def merge_counts(target: Counter, other: Counter) -> None:
@@ -83,3 +102,147 @@ class PartialFdCounts:
         for partial in partials:
             merged.merge(partial)
         return merged
+
+
+def _group_first_occurrence(
+    raw: "np.ndarray",
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Group one-per-row packed keys, first-occurrence ordered.
+
+    Cheaper than :func:`~repro.relation.columnar._dense_first_occurrence`
+    for compression: no inverse array is materialised, the second sort
+    runs over distinct keys only.
+    """
+    unique, first, counts = np.unique(raw, return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return unique[order], counts[order].astype(np.int64, copy=False)
+
+
+def _merge_keyed_arrays(
+    keyed: Sequence[Tuple["np.ndarray", "np.ndarray"]],
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Merge ``(keys, counts)`` array pairs, first-occurrence ordered.
+
+    Concatenates in sequence order and groups with a stable first-seen
+    index, so a key's merged position is its position in the first pair
+    that contains it — the array analogue of :func:`merge_counts`.
+    Counts stay exact ``int64`` (``np.add.at``, not float bincount
+    weights).
+    """
+    from repro.relation.columnar import _dense_first_occurrence
+
+    if len(keyed) == 1:
+        return keyed[0]
+    all_keys = np.concatenate([keys for keys, _ in keyed])
+    all_counts = np.concatenate([counts for _, counts in keyed])
+    dense, _, firsts = _dense_first_occurrence(all_keys)
+    merged_counts = np.zeros(firsts.shape[0], dtype=np.int64)
+    np.add.at(merged_counts, dense, all_counts)
+    return all_keys[firsts], merged_counts
+
+
+@dataclass
+class ArrayFdCounts:
+    """Partial counts keyed by globally packed ``int64`` scalars.
+
+    The array analogue of :class:`PartialFdCounts`: ``xy_keys`` /
+    ``xy_counts`` hold one chunk's distinct packed ``(X, Y)`` keys (in
+    first-occurrence order) with their multiplicities, ``w_keys`` /
+    ``w_counts`` the packed full-tuple keys.  When the FD covers the
+    schema the producer aliases ``w_keys is xy_keys`` (the full tuple
+    *is* the ``(x, y)`` concatenation under one shared pack), and
+    :meth:`merge_all` preserves the aliasing so the covering fast path
+    survives the merge.  Partials pickle as compact array buffers —
+    what travels over the process-pool pipes in the parallel driver.
+    """
+
+    num_rows: int
+    xy_keys: "np.ndarray"
+    xy_counts: "np.ndarray"
+    w_keys: "np.ndarray"
+    w_counts: "np.ndarray"
+
+    @classmethod
+    def empty(cls) -> "ArrayFdCounts":
+        if np is None:  # pragma: no cover - array partials need numpy
+            raise RuntimeError("ArrayFdCounts requires numpy")
+        keys = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+        return cls(0, keys, counts, keys, counts)
+
+    @classmethod
+    def from_raw_keys(
+        cls,
+        num_rows: int,
+        xy_raw: "np.ndarray",
+        w_raw: "np.ndarray" = None,
+    ) -> "ArrayFdCounts":
+        """Compress raw one-key-per-row arrays into a partial.
+
+        ``xy_raw`` (and ``w_raw``) carry one packed key per restricted
+        row, in row order; grouping keeps first-occurrence order, so the
+        result equals merging the rows' singleton partials in row order.
+        ``w_raw=None`` declares the FD schema-covering (the full-tuple
+        counts alias the joint counts).  Packing a chunk to raw keys is
+        O(rows); deferring the grouping to one call per *band* of chunks
+        is what keeps the serial chunked pass within sight of the
+        monolithic scan.
+        """
+        if np is None:  # pragma: no cover - array partials need numpy
+            raise RuntimeError("ArrayFdCounts requires numpy")
+        if num_rows == 0:
+            return cls.empty()
+        xy_keys, xy_counts = _group_first_occurrence(xy_raw)
+        if w_raw is None:
+            return cls(num_rows, xy_keys, xy_counts, xy_keys, xy_counts)
+        w_keys, w_counts = _group_first_occurrence(w_raw)
+        return cls(num_rows, xy_keys, xy_counts, w_keys, w_counts)
+
+    @property
+    def covering(self) -> bool:
+        """True when the full-tuple counts alias the joint counts."""
+        return self.w_keys is self.xy_keys
+
+    def merge(self, other: "ArrayFdCounts") -> "ArrayFdCounts":
+        """Pairwise merge (prefer :meth:`merge_all` over chains of these)."""
+        return ArrayFdCounts.merge_all([self, other])
+
+    @classmethod
+    def merge_all(cls, partials: Sequence["ArrayFdCounts"]) -> "ArrayFdCounts":
+        """One vectorised merge of many partials, in sequence order.
+
+        Equivalent — same keys, same counts, same first-occurrence order
+        after decoding — to :meth:`PartialFdCounts.merge_all` over the
+        tuple-keyed forms of the same chunks.
+        """
+        partials = list(partials)
+        if not partials:
+            return cls.empty()
+        if len(partials) == 1:
+            return partials[0]
+        num_rows = sum(partial.num_rows for partial in partials)
+        xy_keys, xy_counts = _merge_keyed_arrays(
+            [(partial.xy_keys, partial.xy_counts) for partial in partials]
+        )
+        if all(partial.covering for partial in partials):
+            return cls(num_rows, xy_keys, xy_counts, xy_keys, xy_counts)
+        w_keys, w_counts = _merge_keyed_arrays(
+            [(partial.w_keys, partial.w_counts) for partial in partials]
+        )
+        return cls(num_rows, xy_keys, xy_counts, w_keys, w_counts)
+
+
+def unpack_key_columns(keys: "np.ndarray", radices: List[int]) -> List["np.ndarray"]:
+    """Invert the global mixed-radix pack into per-attribute code arrays.
+
+    ``radices`` must be the radices the keys were packed with, in pack
+    (attribute) order; the returned arrays carry the original dictionary
+    codes (``-1`` for NULL, the +1 shift undone), one per attribute.
+    """
+    columns: List["np.ndarray"] = []
+    remaining = keys
+    for radix in reversed(radices):
+        remaining, shifted = np.divmod(remaining, radix)
+        columns.append(shifted - 1)
+    columns.reverse()
+    return columns

@@ -5,10 +5,14 @@ default) gives the exhaustive linear-candidate search, larger values
 extend the search over the LHS lattice via the TANE-style level-wise
 traversal of :mod:`repro.discovery.lattice` — partition-product caching,
 exact-FD refinement, key pruning and an optional g3 bound keep the
-exponential candidate space tractable.  ``python -m repro.discovery``
-exposes the same search on CSV files and the named RWD datasets.
+exponential candidate space tractable.  :func:`chunked_discover` runs
+the single-LHS screen partition-free over chunked map-merge statistics,
+so out-of-core relations can be discovered on without ever building a
+row list.  ``python -m repro.discovery`` exposes the same search on CSV
+files and the named RWD datasets.
 """
 
+from repro.discovery.chunked import chunked_discover
 from repro.discovery.cover import minimal_cover
 from repro.discovery.lattice import (
     PartitionCache,
@@ -26,6 +30,7 @@ __all__ = [
     "DiscoveryResult",
     "PartitionCache",
     "brute_force_afds",
+    "chunked_discover",
     "discover_afds",
     "lattice_discover",
     "minimal_cover",

@@ -137,8 +137,29 @@ def discover_afds(
 
     Scores are bit-identical to brute-force :meth:`FdStatistics.compute`
     scoring of the same candidates for every ``max_lhs_size``.
+
+    A :class:`~repro.relation.chunked.ChunkedRelation` is routed to the
+    partition-free screen of
+    :func:`~repro.discovery.chunked.chunked_discover` (``max_lhs_size``
+    must be 1 and ``g3_bound`` ``None`` there) — same scores, same
+    candidate order, no row list.
     """
     from repro.discovery.lattice import lattice_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    if isinstance(relation, ChunkedRelation):
+        from repro.discovery.chunked import chunked_discover
+
+        return chunked_discover(
+            relation,
+            measures=measures,
+            threshold=threshold,
+            lhs_attributes=lhs_attributes,
+            rhs_attributes=rhs_attributes,
+            max_lhs_size=max_lhs_size,
+            g3_bound=g3_bound,
+            backend=backend,
+        )
 
     return lattice_discover(
         relation,

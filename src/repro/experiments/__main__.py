@@ -217,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1,2; 1 = serial map-merge)",
     )
     parser.add_argument(
+        "--runtime-discovery-rows",
+        type=int,
+        default=0,
+        help="row count of the out-of-core chunked-discovery smoke (streamed "
+        "ingest + partition-free discovery under a tracemalloc row-list "
+        "guard); 0 disables it (default: 0; pass e.g. 10000000 for the "
+        "10M-row smoke)",
+    )
+    parser.add_argument(
         "--streaming-sizes",
         default="1000,5000,20000",
         help="comma-separated fixed relation sizes of the streaming benchmark "
@@ -465,6 +474,7 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         chunk_size=chunk_size,
         chunked_jobs=chunked_jobs,
         chunked_repeats=chunked_repeats,
+        discovery_rows=args.runtime_discovery_rows,
     )
     bench_path = _bench_path(args, "runtime")
     started = time.perf_counter()
@@ -516,6 +526,37 @@ def _run_runtime(args: argparse.Namespace, output_dir: Optional[str]) -> None:
             print(
                 f"largest chunked relation: chunked jobs>1 over single-chunk "
                 f"{payload['chunked_speedup']:.2f}x ({best['backend']} backend)"
+            )
+    array_merge = payload.get("array_merge")
+    if array_merge is not None:
+        print(
+            f"array merge ({array_merge['name']}): numpy serial-chunked "  # type: ignore[index]
+            f"{array_merge['serial_chunked_seconds_median'] * 1000:.2f} ms vs "  # type: ignore[index]
+            f"monolithic {array_merge['monolithic_seconds_median'] * 1000:.2f} ms "  # type: ignore[index]
+            f"(ratio {array_merge['serial_over_monolithic']:.2f}, "  # type: ignore[index]
+            f"array partials {'on' if array_merge['array_partials'] else 'off'}, "  # type: ignore[index]
+            f"within 10%: {array_merge['within_10pct']})"  # type: ignore[index]
+        )
+    discovery = payload.get("chunked_discovery")
+    if discovery is not None:
+        if "backends" in discovery:  # type: ignore[operator]
+            print(
+                f"\nChunked discovery ({discovery['name']}, partition-free, "  # type: ignore[index]
+                f"parity-asserted vs brute force)"
+            )
+            for backend, cell in discovery["backends"].items():  # type: ignore[index]
+                print(
+                    f"  {backend:<8} {cell['seconds'] * 1000:>10.2f} ms for "
+                    f"{cell['candidates']} candidates"
+                )
+        smoke = discovery.get("smoke")  # type: ignore[union-attr]
+        if smoke is not None:
+            print(
+                f"out-of-core smoke: {smoke['num_rows']} rows ingested in "
+                f"{smoke['ingest_seconds']:.1f}s, discovered in "
+                f"{smoke['discover_seconds']:.1f}s, peak "
+                f"{smoke['peak_bytes'] / 1e6:.0f} MB < budget "
+                f"{smoke['budget_bytes'] / 1e6:.0f} MB (row-list free)"
             )
     if output_dir is not None:
         print(f"artifacts: {output_dir}/runtime/{{summary.json,summary.csv}}")

@@ -27,11 +27,12 @@ statistics substrate is tracked in-repo.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from statistics import median
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.backends import available_backends
 from repro.evaluation.scoring import MeasureConfig
@@ -75,6 +76,12 @@ class RuntimeConfig:
     chunk_size: int = 100_000
     chunked_jobs: Tuple[int, ...] = (1, 2)
     chunked_repeats: int = 3
+    #: Row count of the out-of-core chunked-discovery smoke (0 disables
+    #: it; CLI-gated via ``--runtime-discovery-rows``).  The smoke
+    #: streams a block-generated synthetic relation straight into a
+    #: :class:`ChunkedRelation`, discovers on it partition-free, and
+    #: asserts — under tracemalloc — that no row list was materialised.
+    discovery_rows: int = 0
 
     def resolved_backends(self) -> Tuple[str, ...]:
         chosen = self.backends if self.backends else available_backends()
@@ -186,6 +193,7 @@ def _time_chunked_cell(relation, config: RuntimeConfig, backend: str) -> Dict[st
     pass, and the fourteen measure scores are compared exactly, so the
     recorded speedups are speedups of a *bit-identical* result.
     """
+    from repro.core.chunked import uses_array_partials
     from repro.core.statistics import FdStatistics
 
     def timed(compute):
@@ -248,6 +256,11 @@ def _time_chunked_cell(relation, config: RuntimeConfig, backend: str) -> Dict[st
         "jobs": per_jobs,
         "identical": True,
         "chunked_speedup": _speedup(single_median, best_parallel),
+        # Whether the chunked runs above took the vectorised array-
+        # partial merge (numpy backend, pack-safe radix products) or the
+        # tuple-partial fallback — both bit-identical, very different
+        # constants.
+        "array_partials": uses_array_partials(relation, SYNTHETIC_FD, backend=backend),
     }
 
 
@@ -288,6 +301,223 @@ def _run_chunked_section(
             "num_rows": largest["num_rows"],
             "best": largest["best"],
         },
+    }
+
+
+def _array_merge_summary(chunked: Optional[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    """The array-merge headline: numpy serial-chunked vs monolithic.
+
+    Distilled from the chunked section's largest relation — the number
+    the "within 10% of monolithic" acceptance bar is checked against.
+    """
+    if chunked is None:
+        return None
+    entries: List[Dict[str, object]] = chunked["relations"]  # type: ignore[assignment]
+    largest = max(entries, key=lambda entry: entry["num_rows"])
+    cell = largest["backends"].get("numpy")  # type: ignore[union-attr]
+    if cell is None or "1" not in cell["jobs"]:
+        return None
+    monolithic = cell["single_chunk_seconds_median"]
+    serial = cell["jobs"]["1"]["statistics_seconds_median"]
+    ratio = serial / monolithic if monolithic > 0 else None
+    return {
+        "name": largest["name"],
+        "num_rows": largest["num_rows"],
+        "array_partials": cell["array_partials"],
+        "monolithic_seconds_median": monolithic,
+        "serial_chunked_seconds_median": serial,
+        "serial_over_monolithic": ratio,
+        "within_10pct": ratio is not None and ratio <= 1.1,
+    }
+
+
+def _run_chunked_discovery_section(
+    config: RuntimeConfig, backends: Tuple[str, ...]
+) -> Optional[Dict[str, object]]:
+    """Partition-free discovery on the largest chunked relation, per backend.
+
+    The chunked screen runs on a :class:`ChunkedRelation` encoding of
+    the relation while :func:`brute_force_afds` (``max_lhs_size=1``)
+    scores the same candidates monolithically on the row-list form —
+    candidate order, all fourteen scores and exactness flags are
+    asserted identical in-run, so the recorded seconds time a verified
+    result.
+    """
+    from repro.discovery import brute_force_afds, chunked_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    if not config.chunked_sizes:
+        return None
+    num_rows = max(config.chunked_sizes)
+    relation = build_fixed_relation(num_rows, config.seed)
+    chunked_relation = ChunkedRelation.from_relation(
+        relation, chunk_size=config.chunk_size
+    )
+    per_backend: Dict[str, Dict[str, object]] = {}
+    for backend in backends:
+        measures = config.measure_config(backend).build()
+        started = time.perf_counter()
+        result = chunked_discover(
+            chunked_relation, measures=dict(measures), backend=backend
+        )
+        seconds = time.perf_counter() - started
+        oracle = brute_force_afds(
+            relation, measures=dict(measures), max_lhs_size=1, backend=backend
+        )
+        if [str(c.fd) for c in result.candidates] != [str(c.fd) for c in oracle.candidates]:
+            raise AssertionError(
+                f"chunked discovery candidate order (backend={backend}) "
+                f"differs from brute force on {relation.name}"
+            )
+        for chunked_candidate, oracle_candidate in zip(result.candidates, oracle.candidates):
+            if (
+                chunked_candidate.scores != oracle_candidate.scores
+                or chunked_candidate.exact != oracle_candidate.exact
+            ):
+                raise AssertionError(
+                    f"chunked discovery scores (backend={backend}, "
+                    f"fd={chunked_candidate.fd}) differ from brute force "
+                    f"on {relation.name}"
+                )
+        per_backend[backend] = {
+            "seconds": seconds,
+            "candidates": len(result.candidates),
+            "statistics_computed": result.statistics_computed,
+            "identical_to_brute_force": True,
+        }
+    return {
+        "name": relation.name,
+        "num_rows": num_rows,
+        "chunk_size": config.chunk_size,
+        "backends": per_backend,
+    }
+
+
+#: Rows generated per block in the streamed synthetic generator: big
+#: enough for vectorised sampling to amortise, small enough that one
+#: block's transient Python ints stay far under the smoke's memory bar.
+_STREAM_BLOCK_ROWS = 200_000
+
+
+def _stream_synthetic_rows(
+    num_rows: int, seed: int, block_rows: int = _STREAM_BLOCK_ROWS
+) -> Iterator[Tuple[int, int]]:
+    """Block-wise streamed ``(X, Y)`` rows of the fixed benchmark family.
+
+    The same planted-FD-plus-error-channel shape as
+    :func:`build_fixed_relation` (Beta-skewed X, dictionary Y, ~1%
+    corrupted Y), generated one block at a time and yielded row by row —
+    the full row list never exists, which is the point of the smoke this
+    feeds.  The *domains* are capped at the 1M-relation family's
+    (``domain_x`` 50k): the smoke scales rows, not cardinality, so the
+    statistics' O(distinct) structures stay bounded and the memory
+    budget isolates exactly the thing under test — whether a row list
+    was materialised.
+    """
+    import numpy as np
+
+    from repro.synthetic.beta import sample_domain_values
+
+    parameters = fixed_relation_parameters(min(num_rows, 1_000_000))
+    rng = np.random.default_rng(seed + num_rows)
+    dictionary = sample_domain_values(
+        rng,
+        parameters.domain_y_size,
+        parameters.domain_x_size,
+        parameters.alpha_y,
+        parameters.beta_y,
+    )
+    remaining = num_rows
+    while remaining > 0:
+        block = min(block_rows, remaining)
+        x_values = sample_domain_values(
+            rng, parameters.domain_x_size, block, parameters.alpha_x, parameters.beta_x
+        )
+        y_values = dictionary[x_values].copy()
+        errors = rng.random(block) < parameters.error_rate
+        error_count = int(errors.sum())
+        if error_count:
+            y_values[errors] = rng.integers(
+                0, parameters.domain_y_size, error_count
+            )
+        yield from zip(x_values.tolist(), y_values.tolist())
+        remaining -= block
+
+
+#: Fixed allowance on top of the 48 bytes/row budget: one generator
+#: block of transient Python ints plus interpreter noise.  Sized so it
+#: cannot hide a 10M-row list (>= 500 MB) while letting small CLI
+#: sanity runs pass.
+_SMOKE_FIXED_ALLOWANCE = 64 * 1024 * 1024
+
+
+def run_discovery_smoke(
+    num_rows: int,
+    seed: int = 97,
+    chunk_size: int = 100_000,
+    backend: Optional[str] = None,
+    measures=None,
+) -> Dict[str, object]:
+    """Out-of-core chunked-discovery smoke: ingest + discover, row-list free.
+
+    Streams ``num_rows`` synthetic rows straight into a
+    :class:`ChunkedRelation` and runs the partition-free discovery
+    screen on it, all under ``tracemalloc``; the traced peak must stay
+    under 48 bytes/row (plus a fixed block-transient allowance) — a
+    ceiling a materialised list of 10M row tuples (≥ 500 MB of tuple+int
+    overhead alone) cannot fit, so passing proves the pipeline never
+    built one.  Scoring uses the paper's "efficiently computable"
+    measure subset: SFI's smoothed ``|dom(X)| x |dom(Y)|`` table and the
+    permutation expectations' O(rows) sampling columns are inherent to
+    those measures (not to the pipeline) and would dominate the traced
+    peak without touching the row-list property under test.  Returns the
+    timings, peak and discovery counters for the bench payload.
+    """
+    import tracemalloc
+
+    from repro.core.registry import fast_measures
+    from repro.discovery import chunked_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    if num_rows < 1:
+        raise ValueError(f"discovery smoke needs num_rows >= 1, got {num_rows}")
+    if measures is None:
+        measures = fast_measures()
+    budget_bytes = num_rows * 48 + _SMOKE_FIXED_ALLOWANCE
+    tracemalloc.start()
+    try:
+        started = time.perf_counter()
+        relation = ChunkedRelation(
+            ("X", "Y"),
+            _stream_synthetic_rows(num_rows, seed),
+            name=f"runtime-stream[{num_rows}]",
+            chunk_size=chunk_size,
+        )
+        ingest_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        result = chunked_discover(relation, measures=dict(measures), backend=backend)
+        discover_seconds = time.perf_counter() - started
+        _, peak_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    if peak_bytes >= budget_bytes:
+        raise AssertionError(
+            f"chunked-discovery smoke peaked at {peak_bytes} bytes "
+            f"(budget {budget_bytes} = {num_rows} rows x 48); a row list "
+            f"has been materialised somewhere in the pipeline"
+        )
+    return {
+        "num_rows": num_rows,
+        "chunk_size": chunk_size,
+        "backend": backend,
+        "ingest_seconds": ingest_seconds,
+        "discover_seconds": discover_seconds,
+        "measures": list(measures),
+        "candidates": len(result.candidates),
+        "statistics_computed": result.statistics_computed,
+        "peak_bytes": peak_bytes,
+        "budget_bytes": budget_bytes,
+        "row_list_free": True,
     }
 
 
@@ -332,10 +562,25 @@ def run_runtime(
     largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
     chunked = _run_chunked_section(config, backends)
     chunked_best = None if chunked is None else chunked["largest"]["best"]  # type: ignore[index]
+    chunked_discovery = _run_chunked_discovery_section(config, backends)
+    if config.discovery_rows:
+        smoke = run_discovery_smoke(
+            config.discovery_rows,
+            seed=config.seed,
+            chunk_size=config.chunk_size,
+            backend="numpy" if "numpy" in backends else backends[0],
+        )
+        if chunked_discovery is None:
+            chunked_discovery = {"smoke": smoke}
+        else:
+            chunked_discovery["smoke"] = smoke
     payload: Dict[str, object] = {
         "experiment": "runtime",
         "config": asdict(config),
         "backends": list(backends),
+        # Hardware context for the parallel numbers: a jobs=2 speedup
+        # from a single-core runner is noise, not signal.
+        "metadata": {"cpu_count": os.cpu_count()},
         "relations": relations,
         "largest": None
         if largest is None
@@ -355,6 +600,13 @@ def run_runtime(
         # Best chunked-jobs>1-over-single-chunk speedup on the largest
         # chunked relation (None when the section is disabled).
         "chunked_speedup": None if chunked_best is None else chunked_best["speedup"],  # type: ignore[index]
+        # Array-merge headline: numpy serial-chunked over monolithic on
+        # the largest chunked relation (the within-10% acceptance bar).
+        "array_merge": _array_merge_summary(chunked),
+        # Partition-free discovery on the largest chunked relation
+        # (parity-asserted against brute force), plus the optional
+        # out-of-core smoke when ``discovery_rows`` is set.
+        "chunked_discovery": chunked_discovery,
     }
     if output_dir is not None:
         _write_artifacts(Path(output_dir) / "runtime", payload)

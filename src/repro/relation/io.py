@@ -3,8 +3,9 @@
 The RWD benchmark relations are distributed as CSV files; this module
 provides loading (with configurable NULL markers and optional numeric
 type inference) and saving so that users can run the library on their own
-data.  Files ending in ``.gz`` are read and written gzip-compressed
-transparently; :func:`stream_csv_rows` exposes the row stream without
+data.  Gzip-compressed files are detected by magic bytes on read (the
+extension is not trusted) and written for ``.gz`` paths;
+:func:`stream_csv_rows` exposes the row stream without
 materialising it, which is what the out-of-core ingest in
 :mod:`repro.relation.chunked` builds on.
 """
@@ -41,8 +42,33 @@ def _coerce(value: str) -> object:
     return number
 
 
+#: The two-byte gzip magic number (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gzip_file(path: Path) -> bool:
+    """True when the file *content* starts with the gzip magic bytes.
+
+    Extensions lie: mislabeled dumps (gzip bytes in a ``.csv``, plain
+    text renamed ``.gz``) are common in the wild, and trusting the
+    suffix turns them into ``UnicodeDecodeError`` / ``BadGzipFile``
+    noise far from the cause.
+    """
+    with path.open("rb") as handle:
+        return handle.read(2) == _GZIP_MAGIC
+
+
 def _open_text(path: Path, mode: str = "r"):
-    """Open a possibly gzip-compressed text file for csv reading/writing."""
+    """Open a possibly gzip-compressed text file for csv reading/writing.
+
+    Reads sniff the gzip magic bytes instead of trusting the ``.gz``
+    extension; writes (nothing to sniff yet) keep the extension
+    convention.
+    """
+    if "r" in mode:
+        if _is_gzip_file(path):
+            return gzip.open(path, mode + "t", newline="")
+        return path.open(mode, newline="")
     if path.suffix == ".gz":
         return gzip.open(path, mode + "t", newline="")
     return path.open(mode, newline="")

@@ -258,6 +258,8 @@ class AfdSession:
 
     def describe(self) -> Dict[str, object]:
         """A JSON-ready summary of the session (the server's listing row)."""
+        from repro.core.chunked import pool_info
+
         with self._lock:
             return {
                 "name": self.name,
@@ -277,6 +279,9 @@ class AfdSession:
                 "backend": self._backend,
                 "measures": list(self._measures),
                 "cache": self.cache_info(),
+                # Process-wide shared worker pool (jobs > 1 map-merge):
+                # spawns should stay at 1 across a session's FDs.
+                "pool": pool_info(),
             }
 
     # ------------------------------------------------------------------
@@ -493,22 +498,31 @@ class AfdSession:
         minimal_cover: bool = False,
         measures: Optional[Sequence[str]] = None,
     ) -> DiscoveryResult:
-        """Run lattice discovery through the session's artifact caches.
+        """Run discovery through the session's artifact caches.
 
         Bit-identical to :func:`repro.discovery.discover_afds` with the
         same arguments; partitions and statistics computed here stay in
         the session, so a follow-up :meth:`score` of any non-pruned
         candidate is a cache hit.
+
+        Chunked sessions run the partition-free single-LHS screen
+        (:func:`repro.discovery.chunked.chunked_discover`) — same scores
+        and candidate order as the lattice at ``max_lhs_size=1``,
+        computed from chunked statistics without materialising a row
+        list; ``max_lhs_size > 1`` and ``g3_bound`` are rejected there.
         """
         from repro.discovery.cover import minimal_cover as reduce_cover
         from repro.discovery.lattice import lattice_discover
 
         if self._chunked is not None:
-            raise ValueError(
-                "discover() needs partition intersections over an in-memory "
-                "relation; chunked sessions support score()/profile()/"
-                "score_many() only (materialise small data explicitly via "
-                ".chunked.to_relation() to discover on it)"
+            return self._discover_chunked(
+                threshold=threshold,
+                max_lhs_size=max_lhs_size,
+                lhs_attributes=lhs_attributes,
+                rhs_attributes=rhs_attributes,
+                g3_bound=g3_bound,
+                minimal_cover=minimal_cover,
+                measures=measures,
             )
         with self._lock:
             chosen = self._select(measures)
@@ -527,6 +541,45 @@ class AfdSession:
                 g3_bound=g3_bound,
                 backend=self._backend,
                 partition_cache=self._partitions(),
+                statistics_provider=provider,
+            )
+            if minimal_cover:
+                raw = reduce_cover(raw)
+            self._counters["discoveries"] += 1
+            result = DiscoveryResult.from_discovery(raw, epoch=self._epoch)
+            self._last_discovery = result
+            return result
+
+    def _discover_chunked(
+        self,
+        threshold,
+        max_lhs_size: int,
+        lhs_attributes: Optional[Sequence[str]],
+        rhs_attributes: Optional[Sequence[str]],
+        g3_bound: Optional[float],
+        minimal_cover: bool,
+        measures: Optional[Sequence[str]],
+    ) -> DiscoveryResult:
+        """Chunked-session discovery: the partition-free screen."""
+        from repro.discovery.chunked import chunked_discover
+        from repro.discovery.cover import minimal_cover as reduce_cover
+
+        with self._lock:
+            chosen = self._select(measures)
+
+            def provider(source, fd: FunctionalDependency):
+                statistics, _, cache_hit = self._statistics_for(fd, track=False)
+                return statistics, not cache_hit
+
+            raw = chunked_discover(
+                self._chunked,
+                measures=chosen,
+                threshold=threshold,
+                lhs_attributes=lhs_attributes,
+                rhs_attributes=rhs_attributes,
+                max_lhs_size=max_lhs_size,
+                g3_bound=g3_bound,
+                backend=self._backend,
                 statistics_provider=provider,
             )
             if minimal_cover:

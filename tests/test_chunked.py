@@ -360,3 +360,214 @@ class TestPeakMemory:
             f"streamed peak {streamed_peak} not below materialised "
             f"peak {materialised_peak}"
         )
+
+
+# ----------------------------------------------------------------------
+# Array-keyed partials (the vectorised numpy merge path)
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestArrayPartials:
+    """The array path is bit-identical to the tuple path — and selected
+    exactly when the numpy backend runs with pack-safe cardinalities."""
+
+    @pytest.mark.parametrize("builder", RELATION_BUILDERS)
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1000])
+    def test_array_equals_tuple_partials(self, builder, chunk_size):
+        relation = builder(seed=31)
+        for fd in (FD, FunctionalDependency(("A", "C"), ("B",))):
+            via_arrays = compute_chunked(
+                relation, fd, chunk_size=chunk_size, backend="numpy",
+                array_partials=True,
+            )
+            via_tuples = compute_chunked(
+                relation, fd, chunk_size=chunk_size, backend="numpy",
+                array_partials=False,
+            )
+            assert_identical(via_arrays, via_tuples)
+            assert_identical(
+                via_arrays, FdStatistics.compute(relation, fd, backend="numpy")
+            )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_array_partials_across_pool_jobs(self, jobs):
+        relation = null_relation(seed=5, num_rows=700)
+        chunked = compute_chunked(
+            relation, FD, chunk_size=64, jobs=jobs, backend="numpy",
+            array_partials=True,
+        )
+        assert_identical(chunked, FdStatistics.compute(relation, FD, backend="numpy"))
+
+    def test_uses_array_partials_per_backend(self):
+        relation = random_relation(seed=2)
+        from repro.core.chunked import uses_array_partials
+
+        assert uses_array_partials(relation, FD, backend="numpy") is True
+        assert uses_array_partials(relation, FD, backend="python") is False
+
+    def test_python_backend_force_raises(self):
+        relation = random_relation(seed=3)
+        with pytest.raises(ValueError, match="array partials"):
+            compute_chunked(relation, FD, backend="python", array_partials=True)
+
+    def test_pack_overflow_falls_back_to_tuple_partials(self):
+        # 16 attributes x cardinality ~30 pushes the full-tuple radix
+        # product past 2**62: the auto gate must degrade to tuple
+        # partials (identical results), and forcing must refuse.
+        from repro.core.chunked import uses_array_partials
+
+        rng = random.Random(13)
+        attributes = tuple(f"a{i}" for i in range(16))
+        rows = [
+            tuple(rng.randrange(30) for _ in attributes) for _ in range(300)
+        ]
+        relation = Relation(attributes, rows, name="wide")
+        fd = FunctionalDependency(("a0",), ("a1",))
+        assert uses_array_partials(relation, fd, backend="numpy") is False
+        chunked = compute_chunked(relation, fd, chunk_size=50, backend="numpy")
+        assert_identical(chunked, FdStatistics.compute(relation, fd, backend="numpy"))
+        with pytest.raises(ValueError, match="array partials"):
+            compute_chunked(relation, fd, backend="numpy", array_partials=True)
+
+    def test_covering_fd_aliases_survive_merge(self):
+        # Schema == lhs + rhs: per-chunk partials alias w arrays to xy
+        # arrays, and the merge must preserve the aliasing (half the
+        # merge work on the benchmark shape).
+        import numpy as np
+
+        from repro.core.backends import NumpyBackend
+        from repro.core.partial import ArrayFdCounts
+        from repro.relation.chunked import CodeChunk
+
+        backend = NumpyBackend()
+        fd = FunctionalDependency(("X",), ("Y",))
+        radices = {"X": 5, "Y": 4}
+        chunks = [
+            CodeChunk(
+                ("X", "Y"),
+                {
+                    "X": np.array([0, 1, 0], dtype=np.int32),
+                    "Y": np.array([2, 0, 2], dtype=np.int32),
+                },
+                3,
+            ),
+            CodeChunk(
+                ("X", "Y"),
+                {
+                    "X": np.array([1, 2], dtype=np.int32),
+                    "Y": np.array([0, 1], dtype=np.int32),
+                },
+                2,
+            ),
+        ]
+        partials = [backend.compute_partial_array(c, fd, radices) for c in chunks]
+        assert all(p.covering for p in partials)
+        merged = ArrayFdCounts.merge_all(partials)
+        assert merged.covering
+        assert merged.num_rows == 5
+        assert merged.xy_counts.tolist() == [2, 2, 1]
+
+
+# ----------------------------------------------------------------------
+# Shared worker pool
+# ----------------------------------------------------------------------
+class TestSharedPool:
+    def test_pool_reused_across_fds(self):
+        from repro.core import chunked as chunked_module
+
+        relation = random_relation(seed=7)
+        chunked_module.shutdown_pool()
+        before = chunked_module.pool_info()
+        compute_chunked(relation, FD, chunk_size=32, jobs=2)
+        compute_chunked(
+            relation, FunctionalDependency(("A",), ("C",)), chunk_size=32, jobs=2
+        )
+        info = chunked_module.pool_info()
+        assert info["active"] is True
+        assert info["workers"] == 2
+        assert info["spawns"] == before["spawns"] + 1
+        assert info["reuses"] >= before["reuses"] + 1
+        chunked_module.shutdown_pool()
+        assert chunked_module.pool_info()["active"] is False
+
+    def test_session_describe_exposes_pool_counters(self):
+        from repro.service.session import AfdSession
+
+        session = AfdSession(random_relation(seed=8))
+        pool = session.describe()["pool"]
+        assert set(pool) == {"active", "workers", "spawns", "reuses"}
+
+
+# ----------------------------------------------------------------------
+# Gzip magic-byte sniffing
+# ----------------------------------------------------------------------
+class TestGzipSniffing:
+    def test_gzip_bytes_under_csv_extension(self, tmp_path):
+        # A mislabeled file: gzip content, plain .csv name.
+        path = tmp_path / "mislabeled.csv"
+        path.write_bytes(gzip.compress(b"A,B\n1,x\n2,y\n"))
+        relation = read_csv(path)
+        assert relation.rows() == [(1, "x"), (2, "y")]
+        store = ChunkedRelation.read_csv(path, chunk_size=1)
+        assert list(store.iter_rows()) == relation.rows()
+
+    def test_plain_text_under_gz_extension(self, tmp_path):
+        # The opposite lie: plain CSV renamed to .gz.
+        path = tmp_path / "mislabeled.csv.gz"
+        path.write_text("A,B\n1,x\n")
+        relation = read_csv(path)
+        assert relation.rows() == [(1, "x")]
+
+    def test_write_still_honours_gz_extension(self, tmp_path):
+        path = tmp_path / "out.csv.gz"
+        write_csv(Relation(("A",), [(1,), (2,)]), path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.read().splitlines() == ["A", "1", "2"]
+
+
+# ----------------------------------------------------------------------
+# Parquet ingest (optional pyarrow)
+# ----------------------------------------------------------------------
+HAVE_PYARROW = True
+try:
+    import pyarrow  # noqa: F401
+    import pyarrow.parquet  # noqa: F401
+except ImportError:
+    HAVE_PYARROW = False
+
+
+class TestParquetIngest:
+    def test_missing_pyarrow_raises_actionable_import_error(self, monkeypatch, tmp_path):
+        import sys
+
+        monkeypatch.setitem(sys.modules, "pyarrow", None)
+        monkeypatch.setitem(sys.modules, "pyarrow.parquet", None)
+        with pytest.raises(ImportError, match="pyarrow"):
+            ChunkedRelation.read_parquet(tmp_path / "whatever.parquet")
+
+    @pytest.mark.skipif(not HAVE_PYARROW, reason="pyarrow not installed")
+    def test_read_parquet_matches_streamed_csv(self, tmp_path):  # pragma: no cover
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+
+        table = pa.table(
+            {
+                "A": [1, 2, None, 1],
+                "B": ["x", None, "y", "x"],
+                "C": [0.5, float("nan"), 1.5, 0.5],
+            }
+        )
+        path = tmp_path / "demo.parquet"
+        pq.write_table(table, path)
+        store = ChunkedRelation.read_parquet(path, chunk_size=2)
+        assert store.name == "demo"
+        assert store.attributes == ("A", "B", "C")
+        # NaN floats coerce to NULL, like the CSV reader.
+        assert list(store.iter_rows()) == [
+            (1, "x", 0.5),
+            (2, None, None),
+            (None, "y", 1.5),
+            (1, "x", 0.5),
+        ]
+        restricted = ChunkedRelation.read_parquet(path, columns=("B",), max_rows=2)
+        assert restricted.attributes == ("B",)
+        assert list(restricted.iter_rows()) == [("x",), (None,)]

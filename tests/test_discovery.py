@@ -103,3 +103,87 @@ def test_key_lhs_is_always_exact():
     result = discover_afds(relation, threshold=0.5)
     candidate = next(c for c in result.candidates if str(c.fd) == "id -> payload")
     assert candidate.exact and candidate.scores["g3"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Chunked discovery (partition-free single-LHS screen)
+# ----------------------------------------------------------------------
+def _chunked_backends():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return ["python"]
+    return ["python", "numpy"]
+
+
+def _discovery_fingerprint(result):
+    return [
+        (
+            str(c.fd),
+            {m: round(s, 12) for m, s in c.scores.items()},
+            c.exact,
+        )
+        for c in result.candidates
+    ]
+
+
+@pytest.mark.parametrize("backend", _chunked_backends())
+def test_chunked_discovery_matches_materialised(backend):
+    from repro.discovery import brute_force_afds, chunked_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    relation = RELATION
+    chunked = ChunkedRelation.from_relation(relation, chunk_size=2)
+    streamed = chunked_discover(
+        chunked, threshold=0.0, chunk_size=2, backend=backend
+    )
+    materialised = brute_force_afds(
+        relation, threshold=0.0, max_lhs_size=1, backend=backend
+    )
+    assert _discovery_fingerprint(streamed) == _discovery_fingerprint(materialised)
+    assert streamed.counters()["candidates"] == materialised.counters()["candidates"]
+
+
+@pytest.mark.parametrize("backend", _chunked_backends())
+def test_chunked_discovery_matches_lattice_with_nulls(backend):
+    from repro.discovery import chunked_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    rows = [
+        ("a", 1, None),
+        ("a", 1, "x"),
+        ("b", None, "y"),
+        ("b", 2, "y"),
+        (None, 2, "y"),
+        ("c", 3, None),
+    ]
+    relation = Relation(("P", "Q", "R"), rows, name="nullish")
+    chunked = ChunkedRelation.from_relation(relation, chunk_size=2)
+    streamed = chunked_discover(chunked, threshold=0.0, backend=backend)
+    materialised = discover_afds(
+        relation, threshold=0.0, max_lhs_size=1, backend=backend
+    )
+    assert _discovery_fingerprint(streamed) == _discovery_fingerprint(materialised)
+
+
+def test_discover_afds_routes_chunked_relations():
+    from repro.relation.chunked import ChunkedRelation
+
+    relation = RELATION
+    chunked = ChunkedRelation.from_relation(relation, chunk_size=2)
+    via_facade = discover_afds(chunked, threshold=0.0)
+    direct = discover_afds(relation, threshold=0.0, max_lhs_size=1)
+    assert _discovery_fingerprint(via_facade) == _discovery_fingerprint(direct)
+
+
+def test_chunked_discovery_rejects_partition_features():
+    from repro.discovery import chunked_discover
+    from repro.relation.chunked import ChunkedRelation
+
+    chunked = ChunkedRelation.from_relation(
+        RELATION, chunk_size=2
+    )
+    with pytest.raises(ValueError, match="single-LHS"):
+        chunked_discover(chunked, max_lhs_size=2)
+    with pytest.raises(ValueError, match="g3_bound"):
+        chunked_discover(chunked, g3_bound=0.1)
