@@ -118,6 +118,8 @@ def _shared_pool(jobs: int) -> ProcessPoolExecutor:
     merge in chunk order regardless of which worker answered.
     """
     global _POOL, _POOL_WORKERS, _POOL_SPAWNS, _POOL_REUSES
+    from repro.obs.metrics import get_registry
+
     with _POOL_LOCK:
         if _POOL is None or _POOL_WORKERS < jobs:
             if _POOL is not None:
@@ -125,8 +127,10 @@ def _shared_pool(jobs: int) -> ProcessPoolExecutor:
             _POOL = ProcessPoolExecutor(max_workers=jobs)
             _POOL_WORKERS = jobs
             _POOL_SPAWNS += 1
+            get_registry().inc("pool_spawns_total")
         else:
             _POOL_REUSES += 1
+            get_registry().inc("pool_reuses_total")
         return _POOL
 
 
@@ -633,7 +637,17 @@ def compute_chunked(
                 f"{list(source.attributes)}"
             )
 
+    from repro.obs.metrics import get_registry
+
     attributes, tables, chunks = _chunk_stream(source, chunk_size)
+
+    def counted(stream):
+        registry = get_registry()
+        for chunk in stream:
+            registry.inc("chunked_chunks_total")
+            yield chunk
+
+    chunks = counted(chunks)
     plan = None
     if array_partials is not False and backend_object.name == "numpy":
         plan = _array_pack_plan(attributes, fd, tables)
@@ -644,6 +658,9 @@ def compute_chunked(
             f"on {getattr(source, 'name', '') or 'this relation'}"
         )
     relation_name = getattr(source, "name", "")
+    get_registry().inc(
+        "chunked_passes_total", path="array" if plan is not None else "tuple"
+    )
     if plan is not None:
         if jobs > 1:
             merged_arrays = _merge_parallel_array(chunks, fd, backend_object, jobs, plan)

@@ -43,6 +43,7 @@ from repro.core.backends import resolve_backend
 from repro.core.base import AfdMeasure
 from repro.core.registry import all_measures
 from repro.core.statistics import FdStatistics
+from repro.obs.metrics import get_registry
 from repro.relation.attribute import canonical_attributes
 from repro.relation.fd import FunctionalDependency
 from repro.relation.nulls import is_null
@@ -95,9 +96,13 @@ class PartitionCache:
         key = canonical_attributes(attributes)
         cached = self._partitions.get(key)
         if cached is not None:
+            # `.hits`/`.misses` stay as the deprecated per-cache fields;
+            # `partitions_total{result}` is the canonical metric.
             self.hits += 1
+            get_registry().inc("partitions_total", result="hit")
             return cached
         self.misses += 1
+        get_registry().inc("partitions_total", result="miss")
         if len(key) == 1:
             computed = StrippedPartition.from_relation(self._relation, key)
         else:
@@ -267,6 +272,15 @@ def lattice_discover(
         level = _generate_next_level(survivors)
         if not level:
             break
+    registry = get_registry()
+    registry.inc("discovery_statistics_computed_total", result.statistics_computed)
+    for rule, count in (
+        ("exact", result.pruned_exact),
+        ("key", result.pruned_key),
+        ("bound", result.pruned_bound),
+    ):
+        if count:
+            registry.inc("discovery_pruned_total", count, rule=rule)
     return result
 
 

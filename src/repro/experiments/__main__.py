@@ -688,6 +688,16 @@ def _run_service(args: argparse.Namespace, output_dir: Optional[str]) -> None:
         )
     print("warm scores verified identical to cold recompute")
     print("sharded responses verified bit-identical to serial serving")
+    observability = payload.get("observability")  # type: ignore[union-attr]
+    if observability is not None:
+        overhead = observability["overhead_fraction"]
+        overhead_text = "n/a" if overhead is None else f"{overhead * 100:.1f}%"
+        print(
+            f"observability overhead on {observability['relation']}: "
+            f"{overhead_text} ({observability['enabled_rps_best']:.0f} req/s "
+            f"instrumented vs {observability['disabled_rps_best']:.0f} req/s "
+            f"disabled)"
+        )
     if output_dir is not None:
         print(f"artifacts: {output_dir}/service/{{summary.json,summary.csv}}")
     if bench_path is not None:

@@ -37,12 +37,13 @@ import http.client
 import json
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.io import ensure_directory, write_csv, write_json
+from repro.obs.metrics import set_enabled as obs_set_enabled
 from repro.experiments.runtime import build_fixed_relation
 from repro.service.model import stable_view
 from repro.service.server import ServiceState, make_server, make_sharded_server
@@ -212,6 +213,57 @@ def _throughput_mode(
     return results, reference
 
 
+def _observability_overhead(relation, config: ServiceConfig) -> Dict[str, object]:
+    """Sharded throughput with instrumentation on vs off, interleaved.
+
+    ``repro.obs`` must be effectively free: the front end pays a few
+    registry increments per request against a statistics-pass-sized
+    request cost.  Measured on the given (smallest, most
+    request-rate-bound) relation — the honest worst case for a
+    per-request overhead.  Runs alternate disabled/enabled so clock
+    drift and cache warmth bias neither mode; ``set_enabled`` flips the
+    module flag *before* the pool forks, so workers inherit the state.
+    """
+    threads = config.client_threads[-1] if config.client_threads else 1
+    # Longer runs than the scaling sweep: a 0.1s burst is dominated by
+    # thread scheduling, not by the per-request instrumentation cost.
+    requests = max(config.requests_per_thread, 600 // max(threads, 1))
+    single = replace(
+        config, client_threads=(threads,), requests_per_thread=requests
+    )
+    pairs = max(3, min(config.repeats, 5))
+    runs: Dict[str, List[float]] = {"enabled": [], "disabled": []}
+    try:
+        for _ in range(pairs):
+            obs_set_enabled(False)
+            cells, _ = _throughput_mode(relation, single, "sharded")
+            runs["disabled"].append(float(cells[0]["requests_per_second"]))
+            obs_set_enabled(True)
+            cells, _ = _throughput_mode(relation, single, "sharded")
+            runs["enabled"].append(float(cells[0]["requests_per_second"]))
+    finally:
+        obs_set_enabled(True)
+    # Best-of-runs: the least-interfered run of each mode.  Medians of
+    # sub-second throughput bursts carry scheduler noise an order of
+    # magnitude above the instrumentation cost being measured.
+    enabled_rps = max(runs["enabled"])
+    disabled_rps = max(runs["disabled"])
+    overhead = 1.0 - enabled_rps / disabled_rps if disabled_rps > 0 else None
+    return {
+        "relation": relation.name,
+        "num_rows": relation.num_rows,
+        "threads": threads,
+        "requests_per_thread": requests,
+        "pairs": pairs,
+        "runs": runs,
+        "enabled_rps_best": enabled_rps,
+        "disabled_rps_best": disabled_rps,
+        # Fraction of sharded throughput lost with instrumentation on
+        # (negative = measured faster than the disabled run; noise).
+        "overhead_fraction": overhead,
+    }
+
+
 def _scaling(cells: List[Dict[str, object]], numerator: int, denominator: int):
     """Throughput ratio between two thread counts of one mode's cells."""
     by_threads = {cell["threads"]: cell["requests_per_second"] for cell in cells}
@@ -268,6 +320,11 @@ def run_service(
         )
     largest = max(relations, key=lambda entry: entry["num_rows"]) if relations else None
     smallest = min(relations, key=lambda entry: entry["num_rows"]) if relations else None
+    observability = None
+    if smallest is not None:
+        observability = _observability_overhead(
+            build_fixed_relation(int(smallest["num_rows"]), config.seed), config
+        )
     payload: Dict[str, object] = {
         "experiment": "service",
         "config": asdict(config),
@@ -291,6 +348,10 @@ def run_service(
         # The sharding headline: peak-thread over single-thread sharded
         # requests/sec on the smallest (most request-rate-bound) relation.
         "sharded_scaling": None if smallest is None else smallest["sharded_scaling"],
+        # Instrumentation cost: sharded requests/sec with repro.obs
+        # enabled vs disabled on the smallest relation (worst case for a
+        # per-request overhead).  Acceptance: overhead_fraction <= 0.05.
+        "observability": observability,
     }
     if output_dir is not None:
         _write_artifacts(Path(output_dir) / "service", payload)
@@ -327,5 +388,18 @@ def _write_artifacts(directory: Path, payload: Dict[str, object]) -> None:
                         "metric": f"requests_per_second[{mode},{cell['threads']}]",
                         "value": cell["requests_per_second"],
                     }
+        observability = payload.get("observability")
+        if observability is not None:
+            for metric in (
+                "enabled_rps_best",
+                "disabled_rps_best",
+                "overhead_fraction",
+            ):
+                yield {
+                    "relation": observability["relation"],
+                    "num_rows": observability["num_rows"],
+                    "metric": f"observability[{metric}]",
+                    "value": observability[metric],
+                }
 
     write_csv(directory / "summary.csv", fields, rows())

@@ -1,0 +1,49 @@
+"""``repro.obs`` — stdlib-only observability for the AFD service.
+
+Three small layers, threaded through the whole stack:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
+  labelled counters/gauges/histograms with mergeable snapshots and
+  Prometheus text rendering (``GET /v1/metrics`` aggregates one
+  snapshot per forked shard worker);
+* :mod:`repro.obs.trace` — contextvars-propagated ``Trace``/span API
+  carrying a per-request ``trace_id`` across the shard pipes into
+  :class:`~repro.service.session.AfdSession`;
+* :mod:`repro.obs.logging` — one structured JSON log line per request
+  with slow-request flagging (``--slow-ms``).
+
+Everything here is read-only with respect to results: disabling the
+registry (``repro.obs.metrics.set_enabled(False)`` or
+``REPRO_OBS_DISABLED=1``) must never change any score, discovery
+output, or wire response — the bit-identity tests enforce it.
+"""
+
+from repro.obs.logging import RequestLogger, format_line
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+    set_enabled,
+)
+from repro.obs.trace import Trace, add_span, current_trace, new_trace_id, span, use_trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RequestLogger",
+    "Trace",
+    "add_span",
+    "current_trace",
+    "format_line",
+    "get_registry",
+    "merge_snapshots",
+    "new_trace_id",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+    "use_trace",
+]

@@ -1,0 +1,66 @@
+"""Structured request logging: one compact JSON line per HTTP request.
+
+The front end builds a record per request (trace id, route, status,
+duration, spans) and hands it to a :class:`RequestLogger`, which stamps
+a ``slow`` flag (``duration_ms >= slow_ms``) and emits it as one
+sorted-key JSON line — machine-parseable (the e2e trace tests read the
+stream back with ``json.loads`` per line) and stable under ``grep``.
+
+``log_all=False`` turns the stream into a slow-request log: only
+requests at or above ``slow_ms`` are written, which is the
+``--slow-ms`` serving mode.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, IO, Optional
+
+__all__ = ["RequestLogger", "format_line"]
+
+
+def format_line(record: Dict[str, object]) -> str:
+    """One record as a compact, sorted-key JSON line (no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+
+
+class RequestLogger:
+    """Emit request records as JSON lines, flagging slow requests.
+
+    ``sink`` (a callable taking the formatted line) wins over ``stream``
+    (a writable file object, default ``sys.stderr``); tests use sinks to
+    capture the log in memory.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        sink=None,
+        slow_ms: Optional[float] = None,
+        log_all: bool = True,
+    ):
+        self._stream = stream
+        self._sink = sink
+        self.slow_ms = slow_ms
+        self.log_all = log_all
+
+    def log(self, record: Dict[str, object]) -> None:
+        """Stamp the ``slow`` flag and emit (subject to ``log_all``)."""
+        slow = (
+            self.slow_ms is not None
+            and float(record.get("duration_ms", 0)) >= self.slow_ms
+        )
+        record = dict(record, slow=slow)
+        if not (self.log_all or slow):
+            return
+        line = format_line(record)
+        if self._sink is not None:
+            self._sink(line)
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (ValueError, OSError):  # closed stream at shutdown
+            pass

@@ -23,13 +23,17 @@ scope for a loopback profiling service.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import json
 import selectors
 import socket
 import threading
+import time
 from http.client import responses as _REASONS
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import get_registry
 from repro.service.model import ServiceError
 
 #: Default request-body cap (16 MiB) — plenty for benchmark-scale
@@ -126,6 +130,10 @@ class AsyncHttpServer:
         self._closed = False
         #: Callbacks to run after loop exit (e.g. stopping a shard pool).
         self.on_close: List[Callable[[], None]] = []
+        # Deadline-ordered timers for call_later (healthz ping timeouts).
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_lock = threading.Lock()
+        self._timer_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # Public surface (ThreadingHTTPServer-compatible)
@@ -144,13 +152,44 @@ class AsyncHttpServer:
         except (KeyError, ValueError):  # pragma: no cover - already gone
             pass
 
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` on the event loop after ``delay`` seconds.
+
+        Thread-safe; used for deferred-response deadlines (the sharded
+        healthz ping timeout).  Callbacks run at-most-once, best-effort
+        after the deadline — not a general-purpose scheduler.
+        """
+        with self._timer_lock:
+            heapq.heappush(
+                self._timers, (time.monotonic() + delay, next(self._timer_seq), callback)
+            )
+        try:
+            self._wake_send.send(b"t")
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _run_due_timers(self) -> float:
+        """Fire expired timers; return the select timeout until the next."""
+        due: List[Callable[[], None]] = []
+        with self._timer_lock:
+            now = time.monotonic()
+            while self._timers and self._timers[0][0] <= now:
+                due.append(heapq.heappop(self._timers)[2])
+            timeout = 1.0
+            if self._timers:
+                timeout = min(timeout, max(0.0, self._timers[0][0] - now))
+        for callback in due:
+            callback()
+        return timeout
+
     def serve_forever(self, poll_interval: Optional[float] = None) -> None:
         """Run the event loop until :meth:`shutdown` is called."""
         del poll_interval  # signature compatibility; the self-pipe wakes us
         self._serving.set()
         try:
             while not self._shutdown_requested.is_set():
-                events = self._selector.select(timeout=1.0)
+                timeout = self._run_due_timers()
+                events = self._selector.select(timeout=timeout)
                 for key, mask in events:
                     kind, payload = key.data
                     if kind == "accept":
@@ -205,6 +244,9 @@ class AsyncHttpServer:
             connection = _Connection(sock)
             self._connections[sock.fileno()] = connection
             self._selector.register(sock, selectors.EVENT_READ, ("client", connection))
+            registry = get_registry()
+            registry.inc("http_connections_total")
+            registry.set_gauge("http_connections_open", len(self._connections))
 
     def _drain_wake(self) -> None:
         try:
@@ -256,6 +298,8 @@ class AsyncHttpServer:
             method, path = connection.method, connection.path
             connection.in_flight = True
             respond = self._make_respond(connection)
+            # Expose the request headers to the application (trace ids).
+            respond.request_headers = dict(connection.headers)  # type: ignore[attr-defined]
             try:
                 self.handler(method, path, body, respond)  # type: ignore[arg-type]
             except ServiceError as error:
@@ -327,13 +371,20 @@ class AsyncHttpServer:
                 data = json.dumps(body, sort_keys=True).encode("utf-8")
             reason = _REASONS.get(status, "Unknown")
             keep = connection.keep_alive
+            # An explicit Content-Type in the extra headers overrides the
+            # JSON default (the Prometheus text exposition needs this).
+            extra = [(n, v) for n, v in headers if n.lower() != "content-type"]
+            content_type = next(
+                (v for n, v in headers if n.lower() == "content-type"),
+                "application/json",
+            )
             head = [
                 f"HTTP/1.1 {status} {reason}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(data)}",
                 f"Connection: {'keep-alive' if keep else 'close'}",
             ]
-            head.extend(f"{name}: {value}" for name, value in headers)
+            head.extend(f"{name}: {value}" for name, value in extra)
             connection.outbuf += "\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + data
             connection.close_after_write = not keep
             connection.reset_request()
@@ -377,6 +428,7 @@ class AsyncHttpServer:
             return
         connection.closed = True
         self._connections.pop(connection.sock.fileno(), -1)
+        get_registry().set_gauge("http_connections_open", len(self._connections))
         try:
             self._selector.unregister(connection.sock)
         except (KeyError, ValueError):

@@ -18,11 +18,13 @@ what makes sharded responses bit-identical to single-process serving.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
+from repro.obs.metrics import get_registry
 from repro.relation.relation import Relation
 from repro.service.model import (
     BatchScoreRequest,
@@ -158,6 +160,39 @@ def _op_relations(state: ServiceState, payload: Dict[str, object]) -> Tuple[int,
     return 200, {"relations": state.describe()}
 
 
+def _op_metrics(state: ServiceState, payload: Dict[str, object]) -> Tuple[int, Dict]:
+    """This process's metrics snapshot (mergeable; see ``repro.obs.metrics``)."""
+    return 200, get_registry().to_dict()
+
+
+def _op_stats(state: ServiceState, payload: Dict[str, object]) -> Tuple[int, Dict]:
+    """Operational JSON snapshot: caches, pool counters, metric totals."""
+    from repro.core.chunked import pool_info
+
+    sessions = []
+    for name in state.session_names():
+        session = state.session(name)
+        sessions.append(
+            {
+                "name": name,
+                "num_rows": session.num_rows,
+                "cache": session.cache_info(),
+            }
+        )
+    return 200, {
+        "pid": os.getpid(),
+        "sessions": sessions,
+        "pool": pool_info(),
+        "metrics_totals": get_registry().totals(),
+    }
+
+
+def _op_worker_info(state: ServiceState, payload: Dict[str, object]) -> Tuple[int, Dict]:
+    """Cheap liveness probe payload for the sharded healthz detail."""
+    names = state.session_names()
+    return 200, {"pid": os.getpid(), "relations": names, "sessions": len(names)}
+
+
 def _op_register(state: ServiceState, payload: Dict[str, object]) -> Tuple[int, Dict]:
     try:
         session = state.register_relation(payload)
@@ -230,6 +265,9 @@ OPERATIONS: Dict[str, Callable[[ServiceState, Dict[str, object]], Tuple[int, Dic
     "score_batch": _op_score_batch,
     "discover": _op_discover,
     "delta": _op_delta,
+    "metrics": _op_metrics,
+    "stats": _op_stats,
+    "worker_info": _op_worker_info,
 }
 
 #: Operations that address one relation (and therefore route to the

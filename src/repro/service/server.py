@@ -34,14 +34,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import re
 import signal
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
+from repro.obs.logging import RequestLogger
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import Trace, span, use_trace
 from repro.service.http import MAX_BODY_BYTES, AsyncHttpServer
 from repro.service.model import ServiceError
 from repro.service.ops import ServiceState, execute
@@ -88,6 +97,8 @@ class Route:
 #: pattern is anchored and unambiguous.
 ROUTES: Tuple[Route, ...] = (
     Route("GET", "/v1/healthz", "healthz"),
+    Route("GET", "/v1/metrics", "metrics"),
+    Route("GET", "/v1/stats", "stats"),
     Route("GET", "/v1/relations", "relations"),
     Route("POST", "/v1/relations", "register"),
     Route("POST", "/v1/relations/{name}/score", "score"),
@@ -155,12 +166,24 @@ class ServiceApp:
         state: Optional[ServiceState] = None,
         dispatcher: Optional[ShardDispatcher] = None,
         quiet: bool = True,
+        logger: Optional[RequestLogger] = None,
+        healthz_timeout: float = 0.5,
+        schedule: Optional[Callable[[float, Callable[[], None]], None]] = None,
     ):
         if (state is None) == (dispatcher is None):
             raise ValueError("pass exactly one of state= (inline) or dispatcher= (sharded)")
         self.state = state
         self.dispatcher = dispatcher
         self.quiet = quiet
+        #: Structured request log (one JSON line per request); None = off.
+        self.logger = logger
+        #: Budget for the sharded-healthz worker ping before answering
+        #: with ``responsive: false`` for the stragglers.
+        self.healthz_timeout = healthz_timeout
+        #: ``schedule(delay, callback)`` — the server's ``call_later``
+        #: (wired by :func:`make_sharded_server`); None degrades the
+        #: healthz ping deadline to best-effort (reply-driven only).
+        self.schedule = schedule
         self._deprecation_logged: set = set()
         #: Sharded mode: relation name -> owning worker id (filled on
         #: successful registration; single-threaded on the event loop).
@@ -172,9 +195,13 @@ class ServiceApp:
         headers = [("Deprecation", "true")]
         if route.successor:
             headers.append(("Link", f'<{route.successor}>; rel="successor-version"'))
+        get_registry().inc("deprecated_requests_total", route=route.pattern)
         if route.pattern not in self._deprecation_logged:
             self._deprecation_logged.add(route.pattern)
-            if not self.quiet:
+            # The warning belongs to the serving front end alone: a
+            # ServiceApp embedded in a forked child (benchmark harness,
+            # CLI subprocess) must not re-warn per process.
+            if not self.quiet and multiprocessing.parent_process() is None:
                 sys.stderr.write(
                     f"deprecated route {route.method} {route.pattern} used; "
                     f"migrate to {route.successor or '/v1'}\n"
@@ -202,11 +229,43 @@ class ServiceApp:
 
     # -- the Handler ----------------------------------------------------
     def __call__(self, method: str, path: str, body: Optional[bytes], respond) -> None:
+        # Every request gets a trace: a caller-supplied X-Trace-Id is
+        # honoured (correlation across services), else a fresh id.
+        request_headers = getattr(respond, "request_headers", None) or {}
+        trace = Trace(str(request_headers.get("x-trace-id") or "") or None)
+        start = time.perf_counter()
+        # Metric label: the route *pattern*, never the raw path — raw
+        # paths are unbounded label cardinality.
+        route_label = ["unmatched"]
+
+        def answer(status: int, out: object, headers: Tuple = ()) -> None:
+            duration = time.perf_counter() - start
+            registry = get_registry()
+            registry.inc("requests_total", route=route_label[0], code=str(status))
+            registry.observe("request_seconds", duration, route=route_label[0])
+            respond(status, out, list(headers) + [("X-Trace-Id", trace.trace_id)])
+            if self.logger is not None:
+                self.logger.log(
+                    {
+                        "ts": round(time.time(), 6),
+                        "trace_id": trace.trace_id,
+                        "method": method,
+                        "path": path,
+                        "route": route_label[0],
+                        "status": status,
+                        "duration_ms": round(duration * 1000, 3),
+                        "spans": trace.span_dicts(),
+                    }
+                )
+
         try:
             route, params = match_route(method, path)
-            payload = self._parse_body(method, body)
+            route_label[0] = route.pattern
+            with use_trace(trace):
+                with span("parse"):
+                    payload = self._parse_body(method, body)
         except ServiceError as error:
-            respond(error.status, error.envelope())
+            answer(error.status, error.envelope())
             return
         extra = self._deprecation_headers(route) if route.deprecated else []
         if "name" in params:
@@ -215,31 +274,152 @@ class ServiceApp:
         op = route.op
         if op == "score" and "requests" in payload:
             op = "score_batch"
+        if op == "metrics":
+            self._serve_metrics(answer, extra)
+            return
+        if op == "stats":
+            self._serve_stats(answer, extra)
+            return
         if self.dispatcher is None:
-            status, out = execute(self.state, op, payload)
-            respond(status, out, extra)
+            with use_trace(trace):
+                status, out = execute(self.state, op, payload)
+            answer(status, out, extra)
         else:
-            self._dispatch_sharded(op, payload, respond, extra)
+            self._dispatch_sharded(op, payload, answer, extra, trace)
+
+    # -- observability routes -------------------------------------------
+    def _serve_metrics(self, answer, extra) -> None:
+        """``GET /v1/metrics``: Prometheus text, fleet-aggregated."""
+        prometheus = list(extra) + [("Content-Type", PROMETHEUS_CONTENT_TYPE)]
+        if self.dispatcher is None:
+            text = render_prometheus(get_registry().to_dict())
+            answer(200, text.encode("utf-8"), prometheus)
+            return
+        self.dispatcher.refresh_gauges()
+
+        def merge(replies):
+            snapshots = [
+                body
+                for status, body in replies
+                if status == 200 and isinstance(body, dict) and "metrics" in body
+            ]
+            return 200, merge_snapshots(get_registry().to_dict(), *snapshots)
+
+        def on_merged(status: int, merged: object) -> None:
+            if status != 200 or not isinstance(merged, dict):
+                answer(status, merged, extra)
+                return
+            answer(200, render_prometheus(merged).encode("utf-8"), prometheus)
+
+        self.dispatcher.submit_broadcast("metrics", {}, on_merged, merge)
+
+    def _serve_stats(self, answer, extra) -> None:
+        """``GET /v1/stats``: operational JSON (caches, pools, dispatcher)."""
+        if self.dispatcher is None:
+            status, out = execute(self.state, "stats", {})
+            if status != 200:
+                answer(status, out, extra)
+                return
+            answer(
+                200,
+                {"mode": "inline", "workers": [out], "frontend": get_registry().totals()},
+                extra,
+            )
+            return
+
+        def merge(replies):
+            workers = [
+                decoded if status == 200 else {"error": decoded}
+                for status, decoded in replies
+            ]
+            return 200, {
+                "mode": "sharded",
+                "workers": workers,
+                "dispatcher": self.dispatcher.stats(),
+                "frontend": get_registry().totals(),
+            }
+
+        self.dispatcher.submit_broadcast(
+            "stats", {}, lambda status, out: answer(status, out, extra), merge
+        )
 
     # -- sharded dispatch ----------------------------------------------
-    def _dispatch_sharded(self, op, payload, respond, extra) -> None:
+    def _sharded_healthz(self, respond, extra) -> None:
+        """Per-worker liveness detail: pid, pipe ping, owned relations.
+
+        A dead worker *process* turns the status ``degraded``.  A live
+        worker that misses the ping deadline (mid-statistics-pass on a
+        big relation) stays ``responsive: false`` without degrading —
+        busy is not dead.
+        """
+        pool = self.dispatcher.pool
+        alive = pool.alive()
+        pids = pool.pids()
+        detail: List[Dict[str, object]] = [
+            {
+                "worker": worker_id,
+                "pid": pids[worker_id],
+                "alive": alive[worker_id],
+                "responsive": False,
+                "sessions": None,
+                "relations": None,
+            }
+            for worker_id in range(pool.num_workers)
+        ]
+        done = [False]
+        pending = [worker_id for worker_id in range(pool.num_workers) if alive[worker_id]]
+        remaining = [len(pending)]
+
+        def finish() -> None:
+            if done[0]:
+                return
+            done[0] = True
+            respond(
+                200,
+                {
+                    "status": "ok" if all(alive) else "degraded",
+                    "version": __version__,
+                    "sessions": sorted(self._routing),
+                    "uptime_seconds": time.time() - self._started,
+                    "workers": pool.num_workers,
+                    "worker_detail": detail,
+                },
+                extra,
+            )
+
+        def on_info(worker_id: int):
+            def callback(status: int, out: object) -> None:
+                if isinstance(out, (bytes, bytearray)):
+                    out = json.loads(bytes(out))
+                if status == 200 and isinstance(out, dict):
+                    entry = detail[worker_id]
+                    entry["responsive"] = True
+                    entry["sessions"] = out.get("sessions")
+                    entry["relations"] = out.get("relations")
+                if done[0]:
+                    return
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    finish()
+
+            return callback
+
+        if not pending:
+            finish()
+            return
+        for worker_id in pending:
+            self.dispatcher.submit(worker_id, "worker_info", {}, on_info(worker_id))
+        if self.schedule is not None:
+            self.schedule(self.healthz_timeout, finish)
+
+    def _dispatch_sharded(self, op, payload, respond, extra, trace=None) -> None:
         pool = self.dispatcher.pool
 
         def answer(status: int, out: object) -> None:
             respond(status, out, extra)
 
         if op == "healthz":
-            respond(
-                200,
-                {
-                    "status": "ok",
-                    "version": __version__,
-                    "sessions": sorted(self._routing),
-                    "uptime_seconds": time.time() - self._started,
-                    "workers": pool.num_workers,
-                },
-                extra,
-            )
+            self._sharded_healthz(respond, extra)
             return
         if op == "relations":
             def merge(replies):
@@ -266,7 +446,7 @@ class ServiceApp:
                     self._routing[name] = worker_id
                 respond(status, out, extra)
 
-            self.dispatcher.submit(worker_id, op, payload, on_registered)
+            self.dispatcher.submit(worker_id, op, payload, on_registered, trace=trace)
             return
         # Relation-scoped operations route by the front-door table so an
         # unknown name fails fast without a pipe round trip.
@@ -286,7 +466,7 @@ class ServiceApp:
             )
             respond(error.status, error.envelope(), extra)
             return
-        self.dispatcher.submit(worker_id, op, payload, answer)
+        self.dispatcher.submit(worker_id, op, payload, answer, trace=trace)
 
 
 # ----------------------------------------------------------------------
@@ -297,6 +477,7 @@ def make_server(
     port: int = 0,
     state: Optional[ServiceState] = None,
     quiet: bool = True,
+    logger: Optional[RequestLogger] = None,
 ) -> Tuple[AsyncHttpServer, ServiceState]:
     """Build a ready-to-serve in-process server + state pair.
 
@@ -306,7 +487,7 @@ def make_server(
     from the threaded PR-5 server.
     """
     state = state if state is not None else ServiceState()
-    app = ServiceApp(state=state, quiet=quiet)
+    app = ServiceApp(state=state, quiet=quiet, logger=logger)
     server = AsyncHttpServer(host, port, handler=app, quiet=quiet)
     return server, state
 
@@ -318,6 +499,7 @@ def make_sharded_server(
     backend: Optional[str] = None,
     measure_options: Optional[Dict[str, object]] = None,
     quiet: bool = True,
+    logger: Optional[RequestLogger] = None,
 ) -> Tuple[AsyncHttpServer, ShardPool]:
     """Build a sharded server: ``workers`` processes behind one front end.
 
@@ -328,7 +510,9 @@ def make_sharded_server(
     pool = ShardPool(workers, backend=backend, measure_options=measure_options)
     server = AsyncHttpServer(host, port, quiet=quiet)
     dispatcher = ShardDispatcher(pool, server.add_reader)
-    server.handler = ServiceApp(dispatcher=dispatcher, quiet=quiet)
+    server.handler = ServiceApp(
+        dispatcher=dispatcher, quiet=quiet, logger=logger, schedule=server.call_later
+    )
     server.on_close.append(pool.stop)
     return server, pool
 
@@ -376,6 +560,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--sfi-alpha", type=float, default=0.5, help="SFI smoothing parameter (default: 0.5)"
     )
     parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "flag requests at or above this duration as slow in the JSON "
+            "request log (and log only those, unless --verbose)"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log deprecations and server events"
     )
     return parser
@@ -391,6 +584,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mc_samples": args.mc_samples,
         "sfi_alpha": args.sfi_alpha,
     }
+    # Request log policy: --verbose logs every request; --slow-ms alone
+    # logs only the slow ones; neither = no request log.
+    logger = None
+    if args.verbose or args.slow_ms is not None:
+        logger = RequestLogger(slow_ms=args.slow_ms, log_all=args.verbose)
     if args.workers > 0:
         server, _pool = make_sharded_server(
             args.host,
@@ -399,11 +597,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             measure_options=measure_options,
             quiet=not args.verbose,
+            logger=logger,
         )
         mode = f"sharded across {args.workers} workers"
     else:
         state = ServiceState(backend=args.backend, measure_options=measure_options)
-        server, _ = make_server(args.host, args.port, state=state, quiet=not args.verbose)
+        server, _ = make_server(
+            args.host, args.port, state=state, quiet=not args.verbose, logger=logger
+        )
         mode = "in-process"
     host, port = server.server_address[:2]
 

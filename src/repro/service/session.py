@@ -44,6 +44,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.core.base import AfdMeasure
 from repro.core.registry import all_measures
 from repro.core.statistics import FdStatistics
+from repro.obs.metrics import get_registry
+from repro.obs.trace import add_span, span
 from repro.relation.fd import FunctionalDependency
 from repro.relation.relation import Relation
 from repro.service.model import (
@@ -319,10 +321,16 @@ class AfdSession:
             # cached: score() promises that later deltas refresh in O(Δ).
             self._trackers[fd] = self._dynamic.track(fd)
             enrolled = True
+        registry = get_registry()
         cached = self._statistics.get(fd)
         if cached is not None:
+            # The `_counters` dict keys are the deprecated PR-5 aliases;
+            # `session_statistics_total{relation,result}` is the
+            # canonical surface (same numbers, one naming scheme).
             self._counters["statistics_hits"] += 1
+            registry.inc("session_statistics_total", relation=self.name, result="hit")
             return cached, 0.0, True
+        result_label = "miss"
         started = time.perf_counter()
         if self._dynamic is not None:
             tracker = self._trackers.get(fd)
@@ -331,6 +339,7 @@ class AfdSession:
                     self._counters["statistics_misses"] += 1
                 else:
                     self._counters["incremental_refreshes"] += 1
+                    result_label = "incremental"
                 statistics = tracker.statistics()
             else:
                 self._counters["statistics_misses"] += 1
@@ -341,6 +350,8 @@ class AfdSession:
             self._counters["statistics_misses"] += 1
             statistics = self._compute_statistics(fd)
         seconds = time.perf_counter() - started
+        registry.inc("session_statistics_total", relation=self.name, result=result_label)
+        add_span("statistics", seconds, fd=str(fd), cache_hit=False)
         self._statistics[fd] = statistics
         return statistics, seconds, False
 
@@ -406,6 +417,8 @@ class AfdSession:
                 scores[name] = measure.score_from_statistics(statistics)
                 runtimes[name] = time.perf_counter() - started
             self._counters["scores"] += 1
+            get_registry().inc("session_operations_total", relation=self.name, op="score")
+            add_span("scoring", sum(runtimes.values()), fd=str(fd))
             exact = statistics.satisfied or statistics.is_empty
             return ProfileResult(
                 relation=self.name,
@@ -531,21 +544,25 @@ class AfdSession:
                 statistics, _, cache_hit = self._statistics_for(fd, track=False)
                 return statistics, not cache_hit
 
-            raw = lattice_discover(
-                self.relation,
-                measures=chosen,
-                threshold=threshold,
-                max_lhs_size=max_lhs_size,
-                lhs_attributes=lhs_attributes,
-                rhs_attributes=rhs_attributes,
-                g3_bound=g3_bound,
-                backend=self._backend,
-                partition_cache=self._partitions(),
-                statistics_provider=provider,
-            )
+            with span("discovery", relation=self.name, kind="lattice"):
+                raw = lattice_discover(
+                    self.relation,
+                    measures=chosen,
+                    threshold=threshold,
+                    max_lhs_size=max_lhs_size,
+                    lhs_attributes=lhs_attributes,
+                    rhs_attributes=rhs_attributes,
+                    g3_bound=g3_bound,
+                    backend=self._backend,
+                    partition_cache=self._partitions(),
+                    statistics_provider=provider,
+                )
             if minimal_cover:
                 raw = reduce_cover(raw)
             self._counters["discoveries"] += 1
+            get_registry().inc(
+                "session_operations_total", relation=self.name, op="discover"
+            )
             result = DiscoveryResult.from_discovery(raw, epoch=self._epoch)
             self._last_discovery = result
             return result
@@ -571,20 +588,24 @@ class AfdSession:
                 statistics, _, cache_hit = self._statistics_for(fd, track=False)
                 return statistics, not cache_hit
 
-            raw = chunked_discover(
-                self._chunked,
-                measures=chosen,
-                threshold=threshold,
-                lhs_attributes=lhs_attributes,
-                rhs_attributes=rhs_attributes,
-                max_lhs_size=max_lhs_size,
-                g3_bound=g3_bound,
-                backend=self._backend,
-                statistics_provider=provider,
-            )
+            with span("discovery", relation=self.name, kind="chunked"):
+                raw = chunked_discover(
+                    self._chunked,
+                    measures=chosen,
+                    threshold=threshold,
+                    lhs_attributes=lhs_attributes,
+                    rhs_attributes=rhs_attributes,
+                    max_lhs_size=max_lhs_size,
+                    g3_bound=g3_bound,
+                    backend=self._backend,
+                    statistics_provider=provider,
+                )
             if minimal_cover:
                 raw = reduce_cover(raw)
             self._counters["discoveries"] += 1
+            get_registry().inc(
+                "session_operations_total", relation=self.name, op="discover"
+            )
             result = DiscoveryResult.from_discovery(raw, epoch=self._epoch)
             self._last_discovery = result
             return result
@@ -692,6 +713,7 @@ class AfdSession:
             self._epoch += 1
             self._statistics.clear()
             self._counters["deltas"] += 1
+            get_registry().inc("session_operations_total", relation=self.name, op="delta")
             scores, restricted = self._score_tracked(list(self._trackers), measures)
             return StreamUpdate(
                 relation=self.name,

@@ -45,9 +45,12 @@ import json
 import multiprocessing
 import signal
 import threading
+import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Trace, use_trace
 from repro.service.model import ServiceError
 from repro.service.ops import RELATION_OPS, ServiceState, execute
 
@@ -176,7 +179,18 @@ def worker_main(
         if not isinstance(message, dict) or message.get("op") == "stop":
             break
         try:
-            reply = handle_message(state, ring, worker_id, message)
+            trace_id = message.get("trace")
+            if trace_id:
+                # Re-open the front end's trace in this process: spans
+                # recorded here (statistics, scoring, discovery) observe
+                # into the *worker's* registry and ship back in the
+                # reply for the front end to fold into the request log.
+                trace = Trace(str(trace_id))
+                with use_trace(trace):
+                    reply = handle_message(state, ring, worker_id, message)
+                reply["spans"] = trace.span_dicts()
+            else:
+                reply = handle_message(state, ring, worker_id, message)
         except Exception as error:  # pragma: no cover - defensive
             fallback = ServiceError("internal_error", f"{type(error).__name__}: {error}")
             reply = {
@@ -256,6 +270,9 @@ class ShardPool:
     def alive(self) -> List[bool]:
         return [process.is_alive() for process in self._processes]
 
+    def pids(self) -> List[Optional[int]]:
+        return [process.pid for process in self._processes]
+
     def request(
         self, worker_id: int, op: str, payload: Optional[Dict[str, object]] = None
     ) -> Tuple[int, Dict[str, object]]:
@@ -301,12 +318,19 @@ class ShardPool:
 class _Queued:
     """One not-yet-dispatched operation waiting for its worker."""
 
-    __slots__ = ("op", "payload", "callback")
+    __slots__ = ("op", "payload", "callback", "trace")
 
-    def __init__(self, op: str, payload: Dict[str, object], callback: Callable):
+    def __init__(
+        self,
+        op: str,
+        payload: Dict[str, object],
+        callback: Callable,
+        trace: Optional[Trace] = None,
+    ):
         self.op = op
         self.payload = payload
         self.callback = callback
+        self.trace = trace
 
 
 class ShardDispatcher:
@@ -324,9 +348,16 @@ class ShardDispatcher:
         workers = pool.num_workers
         self._queues: List[Deque[_Queued]] = [deque() for _ in range(workers)]
         self._busy = [False] * workers
-        #: In-flight bookkeeping per worker: ``("single", callback)`` or
-        #: ``("split", [callbacks])``.
-        self._inflight: List[Optional[Tuple[str, object]]] = [None] * workers
+        #: In-flight bookkeeping per worker:
+        #: ``("single", callback, traces, send_time)`` or
+        #: ``("split", [callbacks], traces, send_time)``.
+        self._inflight: List[Optional[Tuple[str, object, List[Trace], float]]] = (
+            [None] * workers
+        )
+        #: Coalescing tallies (also exported as metrics; kept as plain
+        #: ints so ``stats()`` reads without touching the registry).
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
         for worker_id, connection in enumerate(pool.connections):
             add_reader(
                 connection,
@@ -338,11 +369,40 @@ class ShardDispatcher:
         return self._pool
 
     def submit(
-        self, worker_id: int, op: str, payload: Dict[str, object], callback: Callable
+        self,
+        worker_id: int,
+        op: str,
+        payload: Dict[str, object],
+        callback: Callable,
+        trace: Optional[Trace] = None,
     ) -> None:
         """Queue one operation for ``worker_id`` and pump its pipe."""
-        self._queues[worker_id].append(_Queued(op, payload, callback))
+        self._queues[worker_id].append(_Queued(op, payload, callback, trace))
         self._pump(worker_id)
+
+    def stats(self) -> Dict[str, object]:
+        """Live dispatcher state for ``GET /v1/stats``."""
+        self.refresh_gauges()
+        return {
+            "queue_depth": [len(queue) for queue in self._queues],
+            "busy": list(self._busy),
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_requests": self.coalesced_requests,
+        }
+
+    def refresh_gauges(self) -> None:
+        """Mirror queue depths into the registry (at scrape time).
+
+        A gauge is a level, not an event stream: writing it on every
+        queue transition would cost two registry writes per request on
+        the event-loop thread for a value only ever read when ``/v1/stats``
+        or ``/v1/metrics`` is scraped.
+        """
+        registry = get_registry()
+        for worker_id, queue in enumerate(self._queues):
+            registry.set_gauge(
+                "dispatcher_queue_depth", len(queue), worker=str(worker_id)
+            )
 
     def submit_broadcast(
         self,
@@ -374,6 +434,27 @@ class ShardDispatcher:
     # ------------------------------------------------------------------
     # Pipe pumping
     # ------------------------------------------------------------------
+    def _send(
+        self,
+        worker_id: int,
+        message: Dict[str, object],
+        callbacks: List[Callable],
+    ) -> bool:
+        """Send one message; on a dead pipe fail ``callbacks`` and re-pump."""
+        try:
+            self._pool.connections[worker_id].send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            error = ServiceError(
+                "internal_error", f"shard worker {worker_id} is unreachable"
+            )
+            for callback in callbacks:
+                callback(error.status, error.envelope())
+            # Drain whatever else is queued for the dead worker (depth is
+            # bounded by the handful of concurrently waiting clients).
+            self._pump(worker_id)
+            return False
+
     def _pump(self, worker_id: int) -> None:
         if self._busy[worker_id]:
             return
@@ -381,7 +462,6 @@ class ShardDispatcher:
         if not queue:
             return
         first = queue.popleft()
-        connection = self._pool.connections[worker_id]
         if first.op == "score":
             # Coalesce the *consecutive* run of same-relation single
             # scores at the queue head into one batched pass.  Stopping
@@ -403,22 +483,36 @@ class ShardDispatcher:
                         for item in group
                     ],
                 }
-                connection.send(
-                    {
-                        "id": self._pool.next_id(),
-                        "op": "score_batch",
-                        "payload": payload,
-                        "split": True,
-                    }
-                )
+                traces = [item.trace for item in group if item.trace is not None]
+                message: Dict[str, object] = {
+                    "id": self._pool.next_id(),
+                    "op": "score_batch",
+                    "payload": payload,
+                    "split": True,
+                }
+                if traces:
+                    message["trace"] = traces[0].trace_id
+                self.coalesced_batches += 1
+                self.coalesced_requests += len(group)
+                registry = get_registry()
+                registry.inc("dispatcher_coalesced_batches_total")
+                registry.inc("dispatcher_coalesced_requests_total", len(group))
+                callbacks = [item.callback for item in group]
+                if not self._send(worker_id, message, callbacks):
+                    return
                 self._busy[worker_id] = True
-                self._inflight[worker_id] = ("split", [item.callback for item in group])
+                self._inflight[worker_id] = (
+                    "split", callbacks, traces, time.perf_counter()
+                )
                 return
-        connection.send(
-            {"id": self._pool.next_id(), "op": first.op, "payload": first.payload}
-        )
+        message = {"id": self._pool.next_id(), "op": first.op, "payload": first.payload}
+        traces = [first.trace] if first.trace is not None else []
+        if traces:
+            message["trace"] = traces[0].trace_id
+        if not self._send(worker_id, message, [first.callback]):
+            return
         self._busy[worker_id] = True
-        self._inflight[worker_id] = ("single", first.callback)
+        self._inflight[worker_id] = ("single", first.callback, traces, time.perf_counter())
 
     def _on_reply(self, worker_id: int) -> None:
         connection = self._pool.connections[worker_id]
@@ -429,7 +523,7 @@ class ShardDispatcher:
             self._inflight[worker_id] = None
             error = ServiceError("internal_error", f"shard worker {worker_id} died")
             if inflight is not None:
-                kind, target = inflight
+                kind, target = inflight[0], inflight[1]
                 callbacks = target if kind == "split" else [target]
                 for callback in callbacks:
                     callback(error.status, error.envelope())
@@ -438,7 +532,16 @@ class ShardDispatcher:
         self._inflight[worker_id] = None
         self._busy[worker_id] = False
         if kind_target is not None:
-            kind, target = kind_target
+            kind, target, traces, sent_at = kind_target
+            elapsed = time.perf_counter() - sent_at
+            # The pipe round trip is a front-end stage: observe it here
+            # and fold the worker-side spans shipped in the reply into
+            # each waiting request's trace.
+            get_registry().observe("stage_seconds", elapsed, stage="pipe")
+            spans = reply.get("spans") if isinstance(reply, dict) else None
+            for trace in traces:
+                trace.record("pipe", elapsed, worker=worker_id)
+                trace.extend(spans)
             if kind == "split":
                 parts = reply.get("parts") or []
                 for callback, part in zip(target, parts):

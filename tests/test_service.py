@@ -649,6 +649,8 @@ def test_routing_table_dispatch():
     # captured; wrong verbs 405 with the allowed set, unknown paths 404.
     cases = {
         ("GET", "/v1/healthz"): "healthz",
+        ("GET", "/v1/metrics"): "metrics",
+        ("GET", "/v1/stats"): "stats",
         ("GET", "/v1/relations"): "relations",
         ("POST", "/v1/relations"): "register",
         ("POST", "/v1/relations/demo/score"): "score",
