@@ -44,7 +44,7 @@ from repro.core import (
 )
 from repro.relation import FunctionalDependency, Relation, StrippedPartition
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Subpackages (and their headline callables) exposed lazily: importing
 #: ``repro`` stays cheap while ``repro.evaluation`` / ``repro.discovery``

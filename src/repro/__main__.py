@@ -6,6 +6,7 @@ Routes to the subsystem CLIs so nobody has to memorise module paths::
     python -m repro experiments --benchmark err --steps 5
     python -m repro stream data.csv --fd "A -> B"
     python -m repro serve --port 8765
+    python -m repro analysis --select RPR103
     python -m repro --version
 
 Each subcommand forwards its remaining arguments verbatim to the
@@ -25,6 +26,7 @@ COMMANDS = {
     "experiments": ("repro.experiments.__main__", "the paper's experiment drivers"),
     "stream": ("repro.stream.__main__", "incremental monitoring of streamed relations"),
     "serve": ("repro.service.server", "the concurrent AFD profiling server"),
+    "analysis": ("repro.analysis.__main__", "static invariant checks (RPR1xx)"),
 }
 
 

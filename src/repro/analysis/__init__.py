@@ -1,0 +1,69 @@
+"""``repro.analysis`` — AST-based invariant checking for this repo.
+
+A small static-analysis framework (stdlib ``ast`` only) plus the five
+shipped checkers that state the repo's load-bearing contracts as
+machine-checkable rules:
+
+========  ======================  ==========================================
+code      name                    contract
+========  ======================  ==========================================
+RPR101    unguarded-numpy         numpy stays optional: imports guarded/lazy
+RPR102    nondeterminism-in-core  bit-identity modules stay deterministic
+RPR103    lock-discipline         ``self._*`` mutated only under the lock
+RPR104    wire-schema-freeze      /v1 records+routes match schemas.lock.json
+RPR105    obs-conventions         metric naming regime; obs is stdlib-only
+========  ======================  ==========================================
+
+Run ``python -m repro.analysis`` (exits non-zero on any unexplained
+finding), suppress a single line with ``# repro: allow[RPR1xx]``, or
+register a justified exception in ``analysis-allowlist.json``.  See
+:mod:`repro.analysis.framework` to add a checker.
+"""
+
+from repro.analysis.framework import (
+    CHECKERS,
+    FRAMEWORK_CODE,
+    AllowlistEntry,
+    AnalysisConfigError,
+    AnalysisReport,
+    AnalysisRun,
+    Checker,
+    Finding,
+    ParsedModule,
+    load_allowlist,
+    register_checker,
+    suppressed_codes,
+)
+
+# Importing the checker modules registers the shipped rules.
+from repro.analysis import checkers as _checkers  # noqa: F401,E402
+from repro.analysis import schema_lock as _schema_lock  # noqa: F401,E402
+from repro.analysis.schema_lock import (
+    LOCK_FILENAME,
+    SchemaExtractionError,
+    extract_wire_schema,
+    load_lock,
+    update_lock,
+    write_lock,
+)
+
+__all__ = [
+    "AllowlistEntry",
+    "AnalysisConfigError",
+    "AnalysisReport",
+    "AnalysisRun",
+    "CHECKERS",
+    "Checker",
+    "FRAMEWORK_CODE",
+    "Finding",
+    "LOCK_FILENAME",
+    "ParsedModule",
+    "SchemaExtractionError",
+    "extract_wire_schema",
+    "load_allowlist",
+    "load_lock",
+    "register_checker",
+    "suppressed_codes",
+    "update_lock",
+    "write_lock",
+]

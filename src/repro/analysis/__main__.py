@@ -1,0 +1,126 @@
+"""``python -m repro.analysis`` — run the invariant checkers.
+
+Exit codes: 0 clean, 1 unexplained findings, 2 configuration error
+(malformed allowlist, refused ``--update-lock``, bad paths).
+
+Examples::
+
+    python -m repro.analysis                      # whole repo, all checkers
+    python -m repro.analysis src/repro/service    # one subtree
+    python -m repro.analysis --select RPR103      # one rule
+    python -m repro.analysis --format json        # machine-readable report
+    python -m repro.analysis --update-lock        # re-freeze schemas.lock.json
+    python -m repro.analysis --list-checkers      # the RPR catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.framework import (
+    CHECKERS,
+    AnalysisConfigError,
+    AnalysisRun,
+)
+from repro.analysis.schema_lock import SchemaExtractionError, update_lock
+
+
+def find_root(start: Optional[Path] = None) -> Path:
+    """The repo root: nearest ancestor of ``start`` (default cwd) holding
+    ``pyproject.toml``, else the root this package is installed from."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists() and (candidate / "src" / "repro").exists():
+            return candidate
+    return Path(__file__).resolve().parents[3]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically check the repo's load-bearing invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, help="repo root (default: auto-detected)"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these checker codes (repeatable)",
+    )
+    parser.add_argument(
+        "--allowlist", type=Path, default=None, help="allowlist file (default: <root>/analysis-allowlist.json)"
+    )
+    parser.add_argument(
+        "--lock", type=Path, default=None, help="schema lock file (default: <root>/schemas.lock.json)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--update-lock",
+        action="store_true",
+        help="regenerate schemas.lock.json from the sources and exit",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="with --update-lock: re-freeze even without a SCHEMA_VERSION bump",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true", help="print the RPR code catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checkers:
+        for code in sorted(CHECKERS):
+            checker = CHECKERS[code]
+            print(f"{code}  {checker.name}")
+            print(f"       {checker.description}")
+        return 0
+    root = find_root() if args.root is None else args.root.resolve()
+    lock_path = args.lock if args.lock is not None else root / "schemas.lock.json"
+    if args.update_lock:
+        try:
+            print(update_lock(root, lock_path, force=args.force))
+        except (SchemaExtractionError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        run = AnalysisRun(
+            root,
+            paths=args.paths or None,
+            checkers=args.select,
+            allowlist_path=args.allowlist,
+            lock_path=lock_path,
+        )
+        report = run.run()
+    except AnalysisConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(report.summary())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -294,9 +294,13 @@ class ShardPool:
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop every worker (idempotent): stop message, join, terminate."""
-        if self._stopped:
-            return
-        self._stopped = True
+        with self._lock:
+            # Check-and-set under the lock: two concurrent stop() calls
+            # (signal handler + atexit is the real-world pair) must not
+            # both pass the guard and double-send/double-join.
+            if self._stopped:
+                return
+            self._stopped = True
         for connection in self._connections:
             try:
                 connection.send({"op": "stop"})
